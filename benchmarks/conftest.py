@@ -1,0 +1,24 @@
+"""Shared configuration of the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper at a reduced
+default scale (set ``REPRO_FULL_SCALE=1`` for the paper's parameters) and
+prints the corresponding rows/series so the output can be compared with the
+paper side by side.  ``pytest-benchmark`` measures the wall-clock cost of the
+underlying simulation runs; the reproduction targets are the printed shapes,
+not the timings.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "..", "src")
+if os.path.abspath(_SRC) not in sys.path:
+    sys.path.insert(0, os.path.abspath(_SRC))
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def full_scale() -> bool:
+    """Whether the paper-scale parameters were requested."""
+    return os.environ.get("REPRO_FULL_SCALE", "") not in ("", "0", "false")

@@ -1,0 +1,25 @@
+"""Benchmark regenerating the Section 5.1 barrier-layer overhead comparison."""
+
+from repro.experiments.common import EndToEndParams
+from repro.experiments.barrier_layer_perf import render, run_barrier_layer_perf
+
+
+def test_barrier_layer_overhead(benchmark, full_scale):
+    params = EndToEndParams.paper() if full_scale else EndToEndParams.quick()
+    result = benchmark.pedantic(run_barrier_layer_perf, args=(params,), rounds=1, iterations=1)
+    print()
+    print(render(result))
+    durations = result.durations()
+    results = result.results
+    # The barrier layer never drops packets in any configuration.
+    assert all(res.dropped_packets == 0 for res in results.values())
+    # On a non-reordering switch the layered update is comparable to plain
+    # sequential probing.
+    assert (durations["barrier layer / 10 mods (in-order switch)"]
+            <= durations["sequential (no barrier layer)"] * 1.6)
+    # Buffering for a reordering switch costs real time, and per-command
+    # barriers cost even more.
+    assert (durations["barrier layer / 10 mods (reordering switch)"]
+            >= durations["general (no barrier layer)"])
+    assert (durations["barrier layer / every mod (reordering switch)"]
+            >= durations["barrier layer / 10 mods (reordering switch)"])

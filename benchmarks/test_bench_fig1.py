@@ -1,0 +1,16 @@
+"""Benchmark regenerating Figure 1b (% of flows vs broken time)."""
+
+from repro.experiments.common import EndToEndParams
+from repro.experiments.fig1_broken_time import render, run_fig1
+
+
+def test_fig1_broken_time(benchmark, full_scale):
+    params = EndToEndParams.paper() if full_scale else EndToEndParams.quick()
+    result = benchmark.pedantic(run_fig1, args=(params,), rounds=1, iterations=1)
+    print()
+    print(render(result))
+    # Shape assertions mirroring the paper's claim.
+    distributions = result.distributions()
+    assert distributions["OF barriers"][0.004] > distributions["working acks (RUM)"][0.004]
+    assert result.with_acks.dropped_packets == 0
+    assert result.with_barriers.dropped_packets > 0

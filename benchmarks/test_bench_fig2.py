@@ -1,0 +1,14 @@
+"""Benchmark regenerating the Figure 2 firewall-bypass motivation scenario."""
+
+from repro.experiments.fig2_firewall import render, run_fig2
+
+
+def test_fig2_firewall_bypass(benchmark, full_scale):
+    duration = 4.0 if full_scale else 2.5
+    result = benchmark.pedantic(run_fig2, kwargs={"duration": duration}, rounds=1, iterations=1)
+    print()
+    print(render(result))
+    # With barrier acknowledgments the transient hole opens; with RUM it cannot.
+    assert result.with_barriers.bypassed_packets > 0
+    assert result.with_acks.bypassed_packets == 0
+    assert result.with_acks.violations["http_packets_at_firewall"] > 0

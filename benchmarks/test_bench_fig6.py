@@ -1,0 +1,19 @@
+"""Benchmark regenerating Figure 6 (control-plane-only techniques)."""
+
+from repro.experiments.common import EndToEndParams
+from repro.experiments.fig6_control_plane import render, run_fig6
+
+
+def test_fig6_control_plane_techniques(benchmark, full_scale):
+    params = EndToEndParams.paper() if full_scale else EndToEndParams.quick()
+    result = benchmark.pedantic(run_fig6, args=(params,), rounds=1, iterations=1)
+    print()
+    print(render(result))
+    results = result.results
+    # Barriers drop packets, the 300 ms timeout and adaptive-200 do not.
+    assert results["barriers (baseline)"].dropped_packets > 0
+    assert results["timeout"].dropped_packets == 0
+    assert results["adaptive 200"].dropped_packets == 0
+    # The timeout pays for safety with a slower update than the baseline.
+    assert (results["timeout"].mean_update_time
+            > results["barriers (baseline)"].mean_update_time)

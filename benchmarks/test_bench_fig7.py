@@ -1,0 +1,19 @@
+"""Benchmark regenerating Figure 7 (data-plane probing techniques)."""
+
+from repro.experiments.common import EndToEndParams
+from repro.experiments.fig7_probing import render, run_fig7
+
+
+def test_fig7_probing_techniques(benchmark, full_scale):
+    params = EndToEndParams.paper() if full_scale else EndToEndParams.quick()
+    result = benchmark.pedantic(run_fig7, args=(params,), rounds=1, iterations=1)
+    print()
+    print(render(result))
+    results = result.results
+    # Probing never drops packets.
+    assert results["sequential"].dropped_packets == 0
+    assert results["general"].dropped_packets == 0
+    # General probing lands close to the no-wait lower bound and ahead of
+    # (or equal to) sequential probing, which pays for extra rule updates.
+    assert results["general"].mean_update_time <= results["sequential"].mean_update_time + 0.02
+    assert results["no wait"].mean_update_time <= results["general"].mean_update_time + 0.01

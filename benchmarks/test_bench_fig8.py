@@ -1,0 +1,22 @@
+"""Benchmark regenerating Figure 8 (data-plane vs control-plane activation)."""
+
+from repro.experiments.common import RuleInstallParams
+from repro.experiments.fig8_activation_delay import render, run_fig8
+
+
+def test_fig8_activation_delay(benchmark, full_scale):
+    params = (RuleInstallParams.paper_fig8() if full_scale
+              else RuleInstallParams.quick(rule_count=200, max_unconfirmed=200))
+    result = benchmark.pedantic(run_fig8, args=(params,), rounds=1, iterations=1)
+    print()
+    print(render(result))
+    delays = result.delays()
+    # Barriers acknowledge every rule early; probing never does.
+    assert delays["barriers (baseline)"].negative_count > 0
+    assert delays["sequential"].never_negative
+    assert delays["general"].never_negative
+    assert delays["timeout"].negative_count == 0
+    # The over-optimistic adaptive model is allowed to (and does) go negative.
+    assert delays["adaptive 250"].negative_count >= delays["adaptive 200"].negative_count
+    # Timeout wastes more time than general probing at the median.
+    assert delays["timeout"].summary().median > delays["general"].summary().median

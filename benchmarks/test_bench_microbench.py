@@ -1,0 +1,18 @@
+"""Benchmark regenerating the Section 5.2 PacketOut/PacketIn micro-benchmarks."""
+
+from repro.experiments.microbench import MicrobenchParams, render, run_microbench
+
+
+def test_microbenchmarks(benchmark, full_scale):
+    params = MicrobenchParams.paper() if full_scale else MicrobenchParams.quick()
+    result = benchmark.pedantic(run_microbench, args=(params,), rounds=1, iterations=1)
+    print()
+    print(render(result))
+    # Rates land near the paper's measurements (the profile is calibrated to
+    # them, the benchmark verifies the model actually delivers them).
+    assert abs(result.packet_out_rate - 7006) / 7006 < 0.1
+    assert abs(result.packet_in_rate - 5531) / 5531 < 0.1
+    # Interference: PacketIn processing keeps >= 96 % of the modification
+    # rate; a 5:1 PacketOut load costs at most ~15 %.
+    assert result.packet_in_interference >= 0.95
+    assert result.packet_out_interference >= 0.82

@@ -1,0 +1,36 @@
+"""Benchmark regenerating Table 1 (usable update rate, sequential probing)."""
+
+from repro.experiments.common import RuleInstallParams
+from repro.experiments.table1_update_rate import render, run_table1
+
+
+def test_table1_usable_update_rate(benchmark, full_scale):
+    if full_scale:
+        params = RuleInstallParams.paper_table1()
+        frequencies = (1, 2, 5, 10, 20)
+        windows = (20, 50, 100)
+    else:
+        params = RuleInstallParams.quick(rule_count=400)
+        frequencies = (1, 5, 10, 20)
+        windows = (20, 50, 100)
+    result = benchmark.pedantic(
+        run_table1,
+        kwargs={"params": params, "probe_frequencies": frequencies, "window_sizes": windows},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render(result))
+    # The usable rate grows with the probing batch size while confirmations
+    # still arrive fast enough to keep the window full.  Like the paper's own
+    # K = 20 column, the largest batch sizes can dip again once the batch is
+    # comparable to the window (the switch idles waiting for confirmations),
+    # so only sufficiently-funded windows are required to be monotone.
+    for window in windows:
+        rates = [result.normalised[(batch, window)] for batch in frequencies]
+        assert rates[-1] > rates[0]
+        for batch, previous, current in zip(frequencies[1:], rates, rates[1:]):
+            if window >= 2 * batch:
+                assert current >= previous - 0.08
+    for batch in frequencies:
+        assert result.normalised[(batch, windows[-1])] >= result.normalised[(batch, windows[0])] - 0.05

@@ -1,0 +1,14 @@
+"""Repository-level pytest configuration.
+
+Ensures ``src/`` is importable even when the package has not been installed
+(e.g. on offline machines where ``pip install -e .`` cannot build an editable
+wheel); the canonical installation path is still ``pip install -e .`` /
+``python setup.py develop``.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

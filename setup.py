@@ -1,0 +1,14 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``.  This file exists
+so that ``pip install -e .`` also works on environments whose setuptools/pip
+combination cannot build PEP 660 editable wheels (e.g. offline machines
+without the ``wheel`` package) by falling back to the legacy
+``setup.py develop`` path::
+
+    pip install -e . --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,54 @@
+"""RUM reproduction: Reliable FIB Update Acknowledgments in SDN (CoNEXT 2014).
+
+The package is organised bottom-up:
+
+* :mod:`repro.sim` — discrete-event simulation kernel,
+* :mod:`repro.packet`, :mod:`repro.openflow` — packets and the OpenFlow
+  substrate (matches, messages, flow tables, control channels),
+* :mod:`repro.switches` — switch models with separate control and data
+  planes, including the buggy hardware switch the paper measures,
+* :mod:`repro.net` — topologies, links, hosts, traffic and delivery
+  monitoring,
+* :mod:`repro.controller` — an SDN controller with dependency-ordered,
+  consistent network updates,
+* :mod:`repro.probing` — probe-packet generation and switch-value colouring,
+* :mod:`repro.core` — **RUM itself**: the transparent proxy, the five
+  acknowledgment techniques and the reliable barrier layer,
+* :mod:`repro.analysis`, :mod:`repro.experiments` — measurement utilities and
+  one experiment module per figure/table of the paper.
+
+Quickstart::
+
+    from repro.sim import Simulator
+    from repro.net import Network, triangle_topology
+    from repro.core import RumLayer, config_for_technique
+    from repro.controller import Controller
+
+    sim = Simulator()
+    network = Network(sim, triangle_topology())
+    rum = RumLayer(sim, config_for_technique("general"))
+    rum.attach_network(network)
+    controller = Controller(sim)
+    for name in network.switch_names():
+        controller.connect_switch(name, rum.controller_endpoint(name))
+    rum.prepare(); network.start(); rum.start()
+"""
+
+from repro.core import RumConfig, RumLayer, ReliableBarrierLayer, config_for_technique
+from repro.controller import Controller
+from repro.net import Network, triangle_topology
+from repro.sim import Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Controller",
+    "Network",
+    "ReliableBarrierLayer",
+    "RumConfig",
+    "RumLayer",
+    "Simulator",
+    "config_for_technique",
+    "triangle_topology",
+    "__version__",
+]

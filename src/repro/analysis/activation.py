@@ -1,0 +1,88 @@
+"""Data-plane vs control-plane activation analysis (Figure 8).
+
+For every rule modification the low-level benchmark measures
+
+* *data-plane activation* — when packets matching the rule start being
+  forwarded according to it (ground truth: the switch data plane's apply
+  log), and
+* *control-plane activation* — when the controller receives the confirmation
+  that the rule was installed.
+
+The paper plots ``control-plane activation - data-plane activation`` per
+rule: negative values mean the controller was told too early (incorrect
+behaviour), positive values are wasted waiting time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.cdf import Distribution
+from repro.switches.base import Switch
+
+
+@dataclass
+class ActivationDelays:
+    """Per-rule activation delays of one technique."""
+
+    technique: str
+    #: ``xid -> (data-plane activation, control-plane ack, delay)``.
+    per_rule: Dict[int, Tuple[float, float, float]]
+
+    @property
+    def delays(self) -> List[float]:
+        """All per-rule delays (ack time minus data-plane activation)."""
+        return [delay for (_dp, _cp, delay) in self.per_rule.values()]
+
+    @property
+    def negative_count(self) -> int:
+        """Rules acknowledged before they were active (incorrect behaviour)."""
+        return sum(1 for delay in self.delays if delay < 0)
+
+    @property
+    def never_negative(self) -> bool:
+        """Whether the technique never acknowledged early."""
+        return self.negative_count == 0
+
+    def summary(self) -> Distribution:
+        """Distribution summary of the delays."""
+        return Distribution.from_values(self.delays)
+
+    def ranked(self) -> List[Tuple[int, float]]:
+        """``(rank, delay)`` pairs sorted by delay — the paper's Figure 8 axes."""
+        return list(enumerate(sorted(self.delays), start=1))
+
+
+def dataplane_activation_times(switch: Switch) -> Dict[int, float]:
+    """``FlowMod xid -> first time it was applied to the data plane``."""
+    activations: Dict[int, float] = {}
+    for time, xid in switch.dataplane.apply_log:
+        activations.setdefault(xid, time)
+    return activations
+
+
+def activation_delays(
+    switch: Switch,
+    ack_times: Dict[int, float],
+    technique: str = "",
+    xids: Optional[Sequence[int]] = None,
+) -> ActivationDelays:
+    """Correlate data-plane activations with controller-visible ack times.
+
+    ``ack_times`` maps FlowMod xids to the time the controller learned the
+    modification was complete (from the controller's ack log or RUM's
+    confirmation log).  Restrict to ``xids`` when only a subset of the
+    switch's modifications belongs to the experiment.
+    """
+    dataplane = dataplane_activation_times(switch)
+    wanted = set(xids) if xids is not None else None
+    per_rule: Dict[int, Tuple[float, float, float]] = {}
+    for xid, acked_at in ack_times.items():
+        if wanted is not None and xid not in wanted:
+            continue
+        applied_at = dataplane.get(xid)
+        if applied_at is None:
+            continue
+        per_rule[xid] = (applied_at, acked_at, acked_at - applied_at)
+    return ActivationDelays(technique=technique, per_rule=per_rule)

@@ -1,0 +1,125 @@
+"""Plain-text rendering of experiment results.
+
+The experiment harness and the benchmark suite print their results as simple
+aligned tables and ASCII series so that ``pytest benchmarks/ --benchmark-only``
+output can be compared side by side with the paper's tables and figures
+without any plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.cdf import Distribution, cdf_points
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """Render an aligned, pipe-separated table."""
+    columns = len(headers)
+    normalised_rows = []
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(f"row {row!r} does not have {columns} columns")
+        normalised_rows.append([_format_cell(cell) for cell in row])
+    header_cells = [str(cell) for cell in headers]
+    widths = [
+        max(len(header_cells[index]), *(len(row[index]) for row in normalised_rows))
+        if normalised_rows else len(header_cells[index])
+        for index in range(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(cell.ljust(width) for cell, width in zip(header_cells, widths)))
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in normalised_rows:
+        lines.append(" | ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def render_series(series: Dict[str, Sequence[float]], title: str = "",
+                  unit: str = "") -> str:
+    """Render named value series as summary rows (count / mean / p90 / max)."""
+    rows = []
+    for name, values in series.items():
+        if not values:
+            rows.append([name, 0, "-", "-", "-"])
+            continue
+        summary = Distribution.from_values(list(values))
+        rows.append([name, summary.count, summary.mean, summary.p90, summary.maximum])
+    suffix = f" [{unit}]" if unit else ""
+    return format_table(
+        ["series", "count", f"mean{suffix}", f"p90{suffix}", f"max{suffix}"],
+        rows,
+        title=title,
+    )
+
+
+def render_cdf(values: Sequence[float], title: str = "", width: int = 50,
+               unit: str = "s") -> str:
+    """A small ASCII CDF: one bar per decile."""
+    points = cdf_points(list(values))
+    if not points:
+        return f"{title}\n(no samples)"
+    lines = [title] if title else []
+    deciles = [0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0]
+    total = len(points)
+    for fraction in deciles:
+        index = min(int(fraction * total) - 1, total - 1)
+        index = max(index, 0)
+        value = points[index][0]
+        bar = "#" * max(1, int(fraction * width))
+        lines.append(f"p{int(fraction * 100):>3} {value:>10.4f}{unit} {bar}")
+    return "\n".join(lines)
+
+
+def summarize_distribution(values: Sequence[float], label: str = "",
+                           unit: str = "s") -> str:
+    """One-line textual summary of a distribution."""
+    if not values:
+        return f"{label}: no samples"
+    summary = Distribution.from_values(list(values))
+    return (
+        f"{label}: n={summary.count} min={summary.minimum:.4f}{unit} "
+        f"median={summary.median:.4f}{unit} mean={summary.mean:.4f}{unit} "
+        f"p90={summary.p90:.4f}{unit} max={summary.maximum:.4f}{unit}"
+    )
+
+
+def render_flow_update_curves(
+    per_technique: Dict[str, List[Tuple[Optional[float], Optional[float]]]],
+    title: str = "",
+) -> str:
+    """Summarise (last-old-path, first-new-path) pairs per technique.
+
+    The full curves are what the paper plots; for terminal output the table
+    reports, per technique, the mean/median/max of the first-new-path times
+    and the worst gap between the curves (the longest per-flow outage).
+    """
+    rows = []
+    for technique, pairs in per_technique.items():
+        new_times = [new for (_old, new) in pairs if new is not None]
+        gaps = [
+            max(0.0, new - old)
+            for (old, new) in pairs
+            if old is not None and new is not None
+        ]
+        if new_times:
+            summary = Distribution.from_values(new_times)
+            worst_gap = max(gaps) if gaps else 0.0
+            rows.append([technique, summary.count, summary.mean, summary.maximum, worst_gap])
+        else:
+            rows.append([technique, 0, "-", "-", "-"])
+    return format_table(
+        ["technique", "flows", "mean update time [s]", "max update time [s]",
+         "worst outage [s]"],
+        rows,
+        title=title,
+    )

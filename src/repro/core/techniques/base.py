@@ -1,0 +1,77 @@
+"""Common interface of the acknowledgment techniques."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.pending import PendingRule
+from repro.openflow.messages import OFMessage
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.rum import RumLayer
+
+
+class AckTechnique:
+    """Base class of all acknowledgment techniques.
+
+    A technique never talks to switches or to the controller directly: it
+    uses the hosting :class:`~repro.core.rum.RumLayer` to send RUM-originated
+    messages towards switches and to confirm pending modifications (which is
+    what ultimately emits the fine-grained acknowledgment upstream).
+    """
+
+    #: Name used in configuration and reports.
+    name = "base"
+
+    def __init__(self, layer: "RumLayer") -> None:
+        self.layer = layer
+        self.sim = layer.sim
+        self.config = layer.config
+
+    # -- lifecycle -----------------------------------------------------------
+    def prepare(self) -> None:
+        """Deployment-time setup (e.g. installing probe-catch rules).
+
+        Called once, after the layer is attached to the network and before
+        any experiment traffic or updates run.
+        """
+
+    def start(self) -> None:
+        """Start periodic background processes (probing loops, timers)."""
+
+    # -- notifications ------------------------------------------------------------
+    def on_flowmod_forwarded(self, switch_name: str, record: PendingRule) -> None:
+        """A controller FlowMod was just forwarded to ``switch_name``."""
+
+    def on_switch_message(self, switch_name: str, message: OFMessage) -> bool:
+        """A message arrived from ``switch_name``.
+
+        Return ``True`` to consume the message (it will not be forwarded to
+        the controller), ``False`` to let the layer handle it normally.
+        """
+        return False
+
+    def describe(self) -> str:
+        """One-line human-readable description (used in reports)."""
+        return self.name
+
+
+def create_technique(name: str, layer: "RumLayer") -> AckTechnique:
+    """Instantiate the technique called ``name`` on ``layer``."""
+    from repro.core import config as config_module
+    from repro.core.techniques.adaptive import AdaptiveTimeoutTechnique
+    from repro.core.techniques.barrier_baseline import BarrierBaselineTechnique
+    from repro.core.techniques.general import GeneralProbingTechnique
+    from repro.core.techniques.sequential import SequentialProbingTechnique
+    from repro.core.techniques.static_timeout import StaticTimeoutTechnique
+
+    factories = {
+        config_module.TECHNIQUE_BARRIER: BarrierBaselineTechnique,
+        config_module.TECHNIQUE_TIMEOUT: StaticTimeoutTechnique,
+        config_module.TECHNIQUE_ADAPTIVE: AdaptiveTimeoutTechnique,
+        config_module.TECHNIQUE_SEQUENTIAL: SequentialProbingTechnique,
+        config_module.TECHNIQUE_GENERAL: GeneralProbingTechnique,
+    }
+    if name not in factories:
+        raise ValueError(f"unknown acknowledgment technique {name!r}")
+    return factories[name](layer)

@@ -1,0 +1,405 @@
+"""Shared experiment engines.
+
+Two engines cover the whole evaluation:
+
+* :func:`run_path_migration` — the end-to-end experiment of Section 5.1
+  (Figures 1b, 6 and 7, and the barrier-layer overhead runs): 300 flows on
+  the triangle topology are migrated from S1-S3 to S1-S2-S3 with a consistent
+  update, while constant-rate traffic measures packet loss and switchover
+  times at the destination.
+* :func:`run_rule_install` — the low-level benchmark of Section 5.2
+  (Figure 8 and Table 1): a controller performs R rule modifications on the
+  hardware switch with at most K unconfirmed at any time, and the harness
+  correlates controller-visible acknowledgment times with data-plane
+  activation times.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.activation import ActivationDelays, activation_delays
+from repro.analysis.flowstats import (
+    FlowUpdateStats,
+    flow_update_stats,
+    mean_update_time,
+    total_dropped,
+    update_completion_time,
+)
+from repro.controller.base import AckMode, Controller
+from repro.controller.consistent import ConsistentPathMigration
+from repro.controller.routing import install_path_rules, path_flowmods
+from repro.controller.update_plan import PlanExecutor, UpdatePlan
+from repro.core.barrier_layer import ReliableBarrierLayer
+from repro.core.config import RumConfig, config_for_technique
+from repro.core.proxy import chain_proxies
+from repro.core.rum import RumLayer
+from repro.net.network import Network
+from repro.net.topology import triangle_topology
+from repro.net.traffic import TrafficGenerator, flows_between
+from repro.openflow.actions import DropAction, OutputAction
+from repro.openflow.match import Match
+from repro.openflow.messages import FlowMod
+from repro.packet.addresses import int_to_ip, ip_to_int
+from repro.sim.kernel import Simulator
+from repro.sim.rng import SeededRandom
+from repro.switches.profiles import SwitchProfile, hp5406zl_profile, reordering_switch_profile
+
+#: Name used for the "issue everything at once" lower bound of Figure 7.
+NO_WAIT = "no-wait"
+
+
+def full_scale() -> bool:
+    """Whether experiments should run at the paper's full scale.
+
+    The paper's parameters (300 flows at 250 packets/s, 4000-rule sweeps) are
+    used when the environment variable ``REPRO_FULL_SCALE`` is set; the
+    default is a reduced scale that preserves every qualitative result while
+    keeping the benchmark suite fast enough for CI.
+    """
+    return os.environ.get("REPRO_FULL_SCALE", "") not in ("", "0", "false")
+
+
+# ---------------------------------------------------------------------------
+# End-to-end path migration (Section 5.1)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class EndToEndParams:
+    """Parameters of the end-to-end experiment."""
+
+    flow_count: int = 300
+    rate_pps: float = 250.0
+    warmup: float = 0.3
+    grace: float = 0.4
+    max_update_duration: float = 20.0
+    seed: int = 7
+    max_unconfirmed: Optional[int] = None
+    hardware_profile: Optional[SwitchProfile] = None
+    rum_overrides: Dict[str, object] = field(default_factory=dict)
+    #: Controller barrier frequency when a reliable barrier layer is stacked.
+    barrier_every: int = 10
+    with_barrier_layer: bool = False
+    buffer_after_barrier: bool = False
+
+    @classmethod
+    def paper(cls) -> "EndToEndParams":
+        """The parameters used in the paper (300 flows at 250 pkt/s)."""
+        return cls(flow_count=300, rate_pps=250.0)
+
+    @classmethod
+    def quick(cls) -> "EndToEndParams":
+        """A reduced-scale configuration for tests and CI benchmarks.
+
+        Fewer flows than the paper's 300, but the same 250 packets/s per flow
+        so the 4 ms measurement precision of Figure 1b is preserved.
+        """
+        return cls(flow_count=60, rate_pps=250.0)
+
+    @classmethod
+    def default(cls) -> "EndToEndParams":
+        """Paper scale if ``REPRO_FULL_SCALE`` is set, quick scale otherwise."""
+        return cls.paper() if full_scale() else cls.quick()
+
+    def scaled(self, **overrides) -> "EndToEndParams":
+        """A copy with selected fields replaced."""
+        return replace(self, **overrides)
+
+
+@dataclass
+class EndToEndResult:
+    """Everything the end-to-end analysis needs."""
+
+    technique: str
+    params: EndToEndParams
+    update_start: float
+    update_duration: Optional[float]
+    stats: List[FlowUpdateStats]
+    dropped_packets: int
+    mean_update_time: Optional[float]
+    completion_time: Optional[float]
+    activation: Optional[ActivationDelays]
+    rum_description: str = ""
+    barrier_layer_held: int = 0
+
+    def update_pairs(self) -> List[Tuple[Optional[float], Optional[float]]]:
+        """``(last old-path, first new-path)`` pairs, per flow (Figure 6/7 axes)."""
+        return [(entry.last_old_path, entry.first_new_path) for entry in self.stats]
+
+    def broken_times(self) -> List[float]:
+        """Per-flow broken times (Figure 1b input)."""
+        return [entry.broken_time for entry in self.stats]
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-able summary."""
+        return {
+            "technique": self.technique,
+            "flows": len(self.stats),
+            "update_duration": self.update_duration,
+            "dropped_packets": self.dropped_packets,
+            "mean_update_time": self.mean_update_time,
+            "completion_time": self.completion_time,
+            "max_broken_time": max(self.broken_times(), default=0.0),
+            "acknowledged_early": (
+                self.activation.negative_count if self.activation else None
+            ),
+        }
+
+
+def _rum_config_for(technique: str, params: EndToEndParams) -> RumConfig:
+    overrides = dict(params.rum_overrides)
+    if technique == "adaptive" and "assumed_rate" not in overrides:
+        overrides["assumed_rate"] = 250.0
+    return config_for_technique(technique, **overrides)
+
+
+def run_path_migration(technique: str, params: Optional[EndToEndParams] = None) -> EndToEndResult:
+    """Run the consistent path-migration experiment with one technique.
+
+    ``technique`` is one of RUM's technique names, or :data:`NO_WAIT` for the
+    no-consistency lower bound of Figure 7.
+    """
+    params = params or EndToEndParams.default()
+    sim = Simulator()
+    rng = SeededRandom(params.seed)
+    network = Network(
+        sim,
+        triangle_topology(hardware_profile=params.hardware_profile or hp5406zl_profile()),
+        seed=params.seed,
+    )
+
+    # Flows and their pre-existing (old path) forwarding state ----------------
+    h1, h2 = network.host("H1"), network.host("H2")
+    flows = flows_between(h1, h2, params.flow_count, rate_pps=params.rate_pps)
+    old_path = ["H1", "S1", "S3", "H2"]
+    new_path = ["H1", "S1", "S2", "S3", "H2"]
+    for flow in flows:
+        install_path_rules(network, path_flowmods(network, flow, old_path))
+
+    # RUM layer (unless running the no-wait lower bound) ------------------------
+    rum: Optional[RumLayer] = None
+    barrier_layer: Optional[ReliableBarrierLayer] = None
+    if technique != NO_WAIT:
+        rum = RumLayer(sim, _rum_config_for(technique, params))
+        layers = [rum]
+        if params.with_barrier_layer:
+            barrier_layer = ReliableBarrierLayer(
+                sim, buffer_after_barrier=params.buffer_after_barrier
+            )
+            layers.append(barrier_layer)
+        endpoints = chain_proxies(network, layers)
+    else:
+        endpoints = {name: network.controller_endpoint(name)
+                     for name in network.switch_names()}
+
+    # Controller -------------------------------------------------------------------
+    if technique == NO_WAIT:
+        ack_mode = AckMode.NONE
+    elif params.with_barrier_layer:
+        ack_mode = AckMode.BARRIER
+    else:
+        ack_mode = AckMode.RUM_CONFIRMATION
+    controller = Controller(sim, ack_mode=ack_mode)
+    for switch_name, endpoint in endpoints.items():
+        controller.connect_switch(switch_name, endpoint)
+
+    if rum is not None:
+        rum.prepare()
+    network.start()
+    if rum is not None:
+        rum.start()
+
+    # Traffic ---------------------------------------------------------------------
+    traffic = TrafficGenerator(sim, flows, rng=rng.fork("traffic"))
+    traffic.start()
+
+    # Update plan --------------------------------------------------------------------
+    migration = ConsistentPathMigration(network, flows, old_path, new_path)
+    plan = migration.build_plan()
+    max_unconfirmed = params.max_unconfirmed or max(2 * params.flow_count, 16)
+    executor = PlanExecutor(
+        sim,
+        controller,
+        plan,
+        max_unconfirmed=max_unconfirmed,
+        barrier_every=params.barrier_every,
+        ignore_dependencies=(technique == NO_WAIT),
+    )
+
+    sim.run(until=params.warmup)
+    executor.start()
+    deadline = params.warmup + params.max_update_duration
+    while not executor.done.triggered and sim.now < deadline:
+        sim.run(until=min(sim.now + 0.1, deadline))
+
+    # Let traffic run a little longer so post-update deliveries are observed.
+    stop_at = sim.now + params.grace
+    traffic.stop_all(stop_at)
+    sim.run(until=stop_at + 0.05)
+
+    stats = flow_update_stats(
+        network.monitor,
+        new_path_switch="S2",
+        update_start=params.warmup,
+        expected_interval=1.0 / params.rate_pps,
+    )
+
+    activation: Optional[ActivationDelays] = None
+    if rum is not None:
+        new_path_xids = [op.flowmod.xid for op in plan.by_role("new-path")
+                         if op.switch == "S2"]
+        activation = activation_delays(
+            network.switch("S2"),
+            rum.confirmation_times("S2"),
+            technique=technique,
+            xids=new_path_xids,
+        )
+
+    return EndToEndResult(
+        technique=technique,
+        params=params,
+        update_start=params.warmup,
+        update_duration=executor.duration,
+        stats=stats,
+        dropped_packets=total_dropped(stats),
+        mean_update_time=mean_update_time(stats),
+        completion_time=update_completion_time(stats),
+        activation=activation,
+        rum_description=rum.describe() if rum is not None else NO_WAIT,
+        barrier_layer_held=barrier_layer.barriers_held if barrier_layer else 0,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Low-level rule installation benchmark (Section 5.2)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class RuleInstallParams:
+    """Parameters of the single-switch rule-installation benchmark."""
+
+    rule_count: int = 300
+    max_unconfirmed: int = 300
+    seed: int = 13
+    target_switch: str = "S2"
+    hardware_profile: Optional[SwitchProfile] = None
+    rum_overrides: Dict[str, object] = field(default_factory=dict)
+    #: Preinstall the low-priority drop-all rule the paper's setup starts from.
+    with_drop_all: bool = True
+    max_duration: float = 120.0
+
+    @classmethod
+    def paper_fig8(cls) -> "RuleInstallParams":
+        """Figure 8: R = 300, K = 300 (all modifications issued at once)."""
+        return cls(rule_count=300, max_unconfirmed=300)
+
+    @classmethod
+    def paper_table1(cls) -> "RuleInstallParams":
+        """Table 1: R = 4000 modifications."""
+        return cls(rule_count=4000, max_unconfirmed=100)
+
+    @classmethod
+    def quick(cls, rule_count: int = 150, max_unconfirmed: int = 150) -> "RuleInstallParams":
+        """Reduced-scale configuration for tests and CI benchmarks."""
+        return cls(rule_count=rule_count, max_unconfirmed=max_unconfirmed)
+
+    def scaled(self, **overrides) -> "RuleInstallParams":
+        """A copy with selected fields replaced."""
+        return replace(self, **overrides)
+
+
+@dataclass
+class RuleInstallResult:
+    """Outcome of one rule-installation run."""
+
+    technique: str
+    params: RuleInstallParams
+    duration: Optional[float]
+    acknowledged_rules: int
+    usable_rate: Optional[float]
+    activation: Optional[ActivationDelays]
+    rum_probe_rule_updates: int = 0
+    rum_probes_injected: int = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-able summary."""
+        return {
+            "technique": self.technique,
+            "rules": self.params.rule_count,
+            "window": self.params.max_unconfirmed,
+            "duration": self.duration,
+            "usable_rate": self.usable_rate,
+            "negative_delays": self.activation.negative_count if self.activation else None,
+        }
+
+
+def _install_benchmark_plan(network: Network, params: RuleInstallParams) -> UpdatePlan:
+    """R independent exact-match rule installations on the target switch."""
+    plan = UpdatePlan(name="rule-install")
+    target = params.target_switch
+    out_port = network.port_between(target, "S3")
+    src_base = ip_to_int("10.1.0.0")
+    dst_base = ip_to_int("10.2.0.0")
+    for index in range(params.rule_count):
+        match = Match(ip_src=int_to_ip(src_base + index + 1),
+                      ip_dst=int_to_ip(dst_base + index + 1))
+        flowmod = FlowMod(match, [OutputAction(out_port)], priority=100)
+        plan.add(target, flowmod, label=f"rule-{index:05d}", role="install")
+    return plan
+
+
+def run_rule_install(technique: str, params: Optional[RuleInstallParams] = None) -> RuleInstallResult:
+    """Run the Section 5.2 rule-installation benchmark with one technique."""
+    params = params or RuleInstallParams.paper_fig8()
+    sim = Simulator()
+    network = Network(
+        sim,
+        triangle_topology(hardware_profile=params.hardware_profile or hp5406zl_profile()),
+        seed=params.seed,
+    )
+    target_switch = network.switch(params.target_switch)
+    if params.with_drop_all:
+        target_switch.install_rule_directly(FlowMod(Match(), [DropAction()], priority=1))
+
+    rum = RumLayer(sim, config_for_technique(technique, **params.rum_overrides))
+    endpoints = chain_proxies(network, [rum])
+    controller = Controller(sim, ack_mode=AckMode.RUM_CONFIRMATION)
+    for switch_name, endpoint in endpoints.items():
+        controller.connect_switch(switch_name, endpoint)
+
+    rum.prepare()
+    network.start()
+    rum.start()
+
+    plan = _install_benchmark_plan(network, params)
+    executor = PlanExecutor(
+        sim, controller, plan, max_unconfirmed=params.max_unconfirmed,
+    )
+    executor.start()
+    deadline = params.max_duration
+    while not executor.done.triggered and sim.now < deadline:
+        sim.run(until=min(sim.now + 0.25, deadline))
+    sim.run(until=sim.now + 0.1)
+
+    xids = [op.flowmod.xid for op in plan.operations.values()]
+    activation = activation_delays(
+        target_switch,
+        rum.confirmation_times(params.target_switch),
+        technique=technique,
+        xids=xids,
+    )
+    acked = sum(1 for op in plan.operations.values() if op.acked)
+    duration = executor.duration
+    technique_obj = rum.technique
+    return RuleInstallResult(
+        technique=technique,
+        params=params,
+        duration=duration,
+        acknowledged_rules=acked,
+        usable_rate=(acked / duration) if duration else None,
+        activation=activation,
+        rum_probe_rule_updates=getattr(technique_obj, "probe_rule_updates_sent", 0),
+        rum_probes_injected=getattr(technique_obj, "probes_injected", 0),
+    )

@@ -1,0 +1,125 @@
+"""Figure 2 — the transient firewall bypass (motivation scenario).
+
+A theoretically safe update ("X after Y, X after Z") turns into a transient
+security hole when switch B acknowledges rules Y and Z before they are in its
+data plane: HTTP traffic from the untrusted host reaches the server without
+traversing the firewall.  With RUM's data-plane acknowledgments the ingress
+rule X is only installed once Z demonstrably forwards packets, so no HTTP
+packet can bypass the firewall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.analysis.report import format_table
+from repro.controller.base import AckMode, Controller
+from repro.controller.firewall import FirewallScenario
+from repro.controller.update_plan import PlanExecutor
+from repro.core.config import config_for_technique
+from repro.core.proxy import chain_proxies
+from repro.core.rum import RumLayer
+from repro.net.network import Network
+from repro.net.traffic import TrafficGenerator
+from repro.sim.kernel import Simulator
+
+
+@dataclass
+class FirewallRunResult:
+    """Outcome of one firewall-scenario run."""
+
+    technique: str
+    violations: Dict[str, int]
+    update_duration: Optional[float]
+
+    @property
+    def bypassed_packets(self) -> int:
+        """HTTP packets that reached the server without traversing the firewall."""
+        return self.violations.get("http_packets_bypassing_firewall", 0)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-able summary."""
+        return {"technique": self.technique, "update_duration": self.update_duration,
+                **self.violations}
+
+
+@dataclass
+class Fig2Result:
+    """Both runs of the firewall scenario."""
+
+    with_barriers: FirewallRunResult
+    with_acks: FirewallRunResult
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-able summary."""
+        return {
+            "barriers": self.with_barriers.as_dict(),
+            "rum": self.with_acks.as_dict(),
+        }
+
+
+def run_firewall_once(technique: str, scenario: Optional[FirewallScenario] = None,
+                      duration: float = 3.0, seed: int = 31) -> FirewallRunResult:
+    """Run the firewall update once with the given acknowledgment technique."""
+    scenario = scenario or FirewallScenario()
+    sim = Simulator()
+    network = Network(sim, scenario.build_topology(), seed=seed)
+    scenario.preinstall(network)
+    scenario.install_fault(network)
+
+    rum = RumLayer(sim, config_for_technique(technique))
+    endpoints = chain_proxies(network, [rum])
+    controller = Controller(sim, ack_mode=AckMode.RUM_CONFIRMATION)
+    for name, endpoint in endpoints.items():
+        controller.connect_switch(name, endpoint)
+
+    rum.prepare()
+    network.start()
+    rum.start()
+
+    flows = scenario.flows(network)
+    TrafficGenerator(sim, flows).start()
+
+    plan = scenario.build_plan(network)
+    executor = PlanExecutor(sim, controller, plan, max_unconfirmed=10)
+    sim.run(until=0.1)
+    executor.start()
+    sim.run(until=duration)
+
+    return FirewallRunResult(
+        technique=technique,
+        violations=scenario.violations(network),
+        update_duration=executor.duration,
+    )
+
+
+def run_fig2(duration: float = 3.0) -> Fig2Result:
+    """Run the scenario with barrier acknowledgments and with general probing."""
+    return Fig2Result(
+        with_barriers=run_firewall_once("barrier", duration=duration),
+        with_acks=run_firewall_once("general", duration=duration),
+    )
+
+
+def render(result: Fig2Result) -> str:
+    """Text rendering of the firewall comparison."""
+    rows = []
+    for run in (result.with_barriers, result.with_acks):
+        rows.append([
+            run.technique,
+            run.bypassed_packets,
+            run.violations.get("http_packets_at_firewall", 0),
+            run.violations.get("bulk_packets_delivered", 0),
+            f"{run.update_duration:.3f}" if run.update_duration is not None else "-",
+        ])
+    return format_table(
+        ["technique", "HTTP packets bypassing firewall", "HTTP packets at firewall",
+         "bulk packets delivered", "update duration [s]"],
+        rows,
+        title="Figure 2: transient firewall bypass during the update",
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation helper
+    print(render(run_fig2()))

@@ -1,0 +1,30 @@
+"""Network simulation layer: topologies, links, hosts, traffic and delivery
+monitoring.
+
+The end-to-end experiments of the paper run on a triangle of switches with a
+host on each side; :func:`~repro.net.topology.triangle_topology` builds
+exactly that.  Arbitrary topologies can be described with
+:class:`~repro.net.topology.Topology` and instantiated into a running
+simulation with :class:`~repro.net.network.Network`.
+"""
+
+from repro.net.link import Link
+from repro.net.host import Host
+from repro.net.monitor import DeliveryMonitor, DeliveryRecord
+from repro.net.topology import Topology, triangle_topology, linear_topology
+from repro.net.traffic import FlowSpec, TrafficGenerator, flows_between
+from repro.net.network import Network
+
+__all__ = [
+    "DeliveryMonitor",
+    "DeliveryRecord",
+    "FlowSpec",
+    "Host",
+    "Link",
+    "Network",
+    "Topology",
+    "TrafficGenerator",
+    "flows_between",
+    "linear_topology",
+    "triangle_topology",
+]

@@ -1,0 +1,214 @@
+"""Declarative topology descriptions.
+
+A :class:`Topology` lists switches (each with a behaviour kind or an explicit
+profile), hosts, and links.  :class:`~repro.net.network.Network` turns a
+topology into a running simulation.  The module also provides the two
+topologies used by the paper's evaluation and by the examples:
+
+* :func:`triangle_topology` — S1 (software), S2 (hardware), S3 (software) in
+  a triangle, host H1 on S1 and host H2 on S3.  The old per-flow paths go
+  H1-S1-S3-H2, the post-update paths go H1-S1-S2-S3-H2 (Figure 1a).
+* :func:`linear_topology` — a configurable chain, useful for probing tests
+  and for the firewall scenario of Figure 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.switches.profiles import (
+    SwitchProfile,
+    correct_hardware_profile,
+    hp5406zl_profile,
+    reordering_switch_profile,
+    software_switch_profile,
+)
+
+#: Known switch kinds and their profile factories.
+SWITCH_KINDS = {
+    "software": software_switch_profile,
+    "hardware": hp5406zl_profile,
+    "reordering": reordering_switch_profile,
+    "correct-hardware": correct_hardware_profile,
+}
+
+
+@dataclass
+class SwitchSpec:
+    """A switch to be instantiated."""
+
+    name: str
+    kind: str = "software"
+    profile: Optional[SwitchProfile] = None
+
+    def resolve_profile(self) -> SwitchProfile:
+        """The profile to instantiate the switch with."""
+        if self.profile is not None:
+            return self.profile
+        if self.kind not in SWITCH_KINDS:
+            raise ValueError(
+                f"unknown switch kind {self.kind!r}; expected one of {sorted(SWITCH_KINDS)}"
+            )
+        return SWITCH_KINDS[self.kind]()
+
+
+@dataclass
+class HostSpec:
+    """A host to be instantiated."""
+
+    name: str
+    ip: str
+    mac: str
+
+
+@dataclass
+class LinkSpec:
+    """A link between two named nodes (switches or hosts)."""
+
+    node_a: str
+    node_b: str
+    latency: float = 0.0001
+    bandwidth_bps: Optional[float] = 1e9
+
+
+class Topology:
+    """A named collection of switch, host and link specifications."""
+
+    def __init__(self, name: str = "topology") -> None:
+        self.name = name
+        self.switches: Dict[str, SwitchSpec] = {}
+        self.hosts: Dict[str, HostSpec] = {}
+        self.links: List[LinkSpec] = []
+
+    # -- construction ----------------------------------------------------------
+    def add_switch(self, name: str, kind: str = "software",
+                   profile: Optional[SwitchProfile] = None) -> "Topology":
+        """Add a switch (chainable)."""
+        if name in self.switches or name in self.hosts:
+            raise ValueError(f"duplicate node name {name!r}")
+        self.switches[name] = SwitchSpec(name, kind=kind, profile=profile)
+        return self
+
+    def add_host(self, name: str, ip: str, mac: str) -> "Topology":
+        """Add a host (chainable)."""
+        if name in self.switches or name in self.hosts:
+            raise ValueError(f"duplicate node name {name!r}")
+        self.hosts[name] = HostSpec(name, ip=ip, mac=mac)
+        return self
+
+    def add_link(self, node_a: str, node_b: str, latency: float = 0.0001,
+                 bandwidth_bps: Optional[float] = 1e9) -> "Topology":
+        """Add a link between two previously-added nodes (chainable)."""
+        for node in (node_a, node_b):
+            if node not in self.switches and node not in self.hosts:
+                raise ValueError(f"link endpoint {node!r} is not a known node")
+        if node_a == node_b:
+            raise ValueError("self-links are not supported")
+        self.links.append(LinkSpec(node_a, node_b, latency=latency,
+                                   bandwidth_bps=bandwidth_bps))
+        return self
+
+    # -- queries --------------------------------------------------------------------
+    def node_names(self) -> List[str]:
+        """All node names (switches then hosts)."""
+        return list(self.switches) + list(self.hosts)
+
+    def switch_graph(self) -> nx.Graph:
+        """The switch-to-switch adjacency graph (hosts excluded).
+
+        Used by the vertex-colouring optimisation of the general probing
+        technique, which only needs adjacent *switches* to differ in their
+        probe-catch identifier.
+        """
+        graph = nx.Graph()
+        graph.add_nodes_from(self.switches)
+        for link in self.links:
+            if link.node_a in self.switches and link.node_b in self.switches:
+                graph.add_edge(link.node_a, link.node_b)
+        return graph
+
+    def full_graph(self) -> nx.Graph:
+        """Adjacency graph over all nodes, including hosts."""
+        graph = nx.Graph()
+        graph.add_nodes_from(self.node_names())
+        for link in self.links:
+            graph.add_edge(link.node_a, link.node_b, latency=link.latency)
+        return graph
+
+    def neighbors_of(self, name: str) -> List[str]:
+        """Names of the nodes directly linked to ``name``."""
+        neighbors = []
+        for link in self.links:
+            if link.node_a == name:
+                neighbors.append(link.node_b)
+            elif link.node_b == name:
+                neighbors.append(link.node_a)
+        return neighbors
+
+    def validate(self) -> None:
+        """Check the topology is connected and every host has exactly one link."""
+        if not self.switches:
+            raise ValueError("topology has no switches")
+        graph = self.full_graph()
+        if self.links and not nx.is_connected(graph):
+            raise ValueError("topology is not connected")
+        for host in self.hosts:
+            degree = len(self.neighbors_of(host))
+            if degree != 1:
+                raise ValueError(f"host {host!r} must have exactly one link, has {degree}")
+
+
+def triangle_topology(
+    hardware_profile: Optional[SwitchProfile] = None,
+    software_profile: Optional[SwitchProfile] = None,
+    link_latency: float = 0.0001,
+) -> Topology:
+    """The paper's Figure 1a topology.
+
+    S1 and S3 are software switches, S2 is the (buggy) hardware switch; H1
+    hangs off S1 and H2 off S3.
+    """
+    topo = Topology("triangle")
+    topo.add_switch("S1", kind="software", profile=software_profile)
+    topo.add_switch("S2", kind="hardware", profile=hardware_profile)
+    topo.add_switch("S3", kind="software", profile=software_profile)
+    topo.add_host("H1", ip="10.0.0.1", mac="00:00:00:00:00:01")
+    topo.add_host("H2", ip="10.0.0.2", mac="00:00:00:00:00:02")
+    topo.add_link("H1", "S1", latency=link_latency)
+    topo.add_link("S1", "S2", latency=link_latency)
+    topo.add_link("S2", "S3", latency=link_latency)
+    topo.add_link("S1", "S3", latency=link_latency)
+    topo.add_link("S3", "H2", latency=link_latency)
+    topo.validate()
+    return topo
+
+
+def linear_topology(
+    switch_count: int = 3,
+    kinds: Optional[List[str]] = None,
+    link_latency: float = 0.0001,
+) -> Topology:
+    """A chain H1 - S1 - S2 - ... - Sn - H2.
+
+    ``kinds`` optionally gives the switch kind of each position; the default
+    is all software switches.
+    """
+    if switch_count < 1:
+        raise ValueError("need at least one switch")
+    kinds = kinds or ["software"] * switch_count
+    if len(kinds) != switch_count:
+        raise ValueError("kinds must have one entry per switch")
+    topo = Topology(f"linear-{switch_count}")
+    for index in range(switch_count):
+        topo.add_switch(f"S{index + 1}", kind=kinds[index])
+    topo.add_host("H1", ip="10.0.0.1", mac="00:00:00:00:00:01")
+    topo.add_host("H2", ip="10.0.0.2", mac="00:00:00:00:00:02")
+    topo.add_link("H1", "S1", latency=link_latency)
+    for index in range(switch_count - 1):
+        topo.add_link(f"S{index + 1}", f"S{index + 2}", latency=link_latency)
+    topo.add_link(f"S{switch_count}", "H2", latency=link_latency)
+    topo.validate()
+    return topo

@@ -1,0 +1,202 @@
+"""OpenFlow 1.0 match structure with wildcards and IPv4 prefixes.
+
+Besides packet classification (:meth:`Match.matches_packet`), the class
+implements the set-algebra predicates that RUM's general probing technique
+needs when constructing probe packets in the presence of overlapping rules:
+
+* :meth:`Match.overlaps` — is there a packet matched by both rules?
+* :meth:`Match.covers` — does this match include every packet of the other?
+* :meth:`Match.intersection` — the most general match describing the packets
+  matched by both (``None`` when disjoint).
+
+All field values are integers; IP source/destination additionally carry a
+prefix length so ``10.0.0.0/24`` style rules work.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.packet.addresses import ip_to_int, mac_to_int, prefix_mask
+from repro.packet.fields import FIELD_REGISTRY, HeaderField
+from repro.packet.packet import Packet
+
+#: Fields that support prefix (masked) matching.
+_PREFIX_FIELDS = (HeaderField.IP_SRC, HeaderField.IP_DST)
+
+#: Fields whose human-friendly constructor values may be strings.
+_MAC_FIELDS = (HeaderField.ETH_SRC, HeaderField.ETH_DST)
+
+
+class Match:
+    """An immutable OpenFlow match.
+
+    Construct with keyword arguments named after :class:`HeaderField` values::
+
+        Match(ip_src="10.0.0.1", ip_dst="10.0.1.5", ip_proto=17)
+        Match(ip_dst=("10.0.0.0", 24))          # prefix match
+        Match()                                  # match-all (all wildcards)
+
+    Internally every constrained field is stored as ``(value, mask)`` where
+    ``mask`` selects the significant bits.  Non-prefix fields always use the
+    full-width mask.
+    """
+
+    __slots__ = ("_fields",)
+
+    def __init__(self, **kwargs) -> None:
+        fields: Dict[HeaderField, Tuple[int, int]] = {}
+        for name, raw in kwargs.items():
+            if raw is None:
+                continue
+            field = HeaderField(name)
+            spec = FIELD_REGISTRY[field]
+            full_mask = spec.max_value
+            if field in _PREFIX_FIELDS:
+                value, mask = self._parse_ip_constraint(raw)
+            elif field in _MAC_FIELDS:
+                value, mask = mac_to_int(raw), full_mask
+            else:
+                value, mask = int(raw), full_mask
+            spec.validate(value & spec.max_value)
+            fields[field] = (value & mask, mask)
+        self._fields = fields
+
+    @staticmethod
+    def _parse_ip_constraint(raw) -> Tuple[int, int]:
+        """Accept ``"a.b.c.d"``, ``("a.b.c.d", prefix)`` or ``"a.b.c.d/prefix"``."""
+        if isinstance(raw, tuple):
+            address, prefix = raw
+        elif isinstance(raw, str) and "/" in raw:
+            address, prefix_text = raw.split("/", 1)
+            prefix = int(prefix_text)
+        else:
+            address, prefix = raw, 32
+        mask = prefix_mask(int(prefix))
+        return ip_to_int(address) & mask, mask
+
+    # -- introspection -------------------------------------------------------
+    @property
+    def fields(self) -> Dict[HeaderField, Tuple[int, int]]:
+        """Constrained fields as ``{field: (value, mask)}`` (a copy)."""
+        return dict(self._fields)
+
+    def constrained_fields(self) -> Iterable[HeaderField]:
+        """The header fields this match constrains."""
+        return self._fields.keys()
+
+    def is_wildcard(self, field: HeaderField | str) -> bool:
+        """Whether ``field`` is unconstrained by this match."""
+        return HeaderField(field) not in self._fields
+
+    def value_of(self, field: HeaderField | str) -> Optional[int]:
+        """The exact value required for ``field``, or ``None`` if wildcarded/masked."""
+        field = HeaderField(field)
+        if field not in self._fields:
+            return None
+        value, mask = self._fields[field]
+        if mask != FIELD_REGISTRY[field].max_value:
+            return None
+        return value
+
+    @property
+    def is_match_all(self) -> bool:
+        """True when no field is constrained (matches every packet)."""
+        return not self._fields
+
+    def specificity(self) -> int:
+        """Total number of constrained bits — a rough specificity measure."""
+        return sum(bin(mask).count("1") for _value, mask in self._fields.values())
+
+    # -- classification -----------------------------------------------------
+    def matches_packet(self, packet: Packet) -> bool:
+        """Whether ``packet`` satisfies every constraint of this match."""
+        for field, (value, mask) in self._fields.items():
+            if (packet.get(field) & mask) != value:
+                return False
+        return True
+
+    # -- set algebra -----------------------------------------------------------
+    def covers(self, other: "Match") -> bool:
+        """True when every packet matching ``other`` also matches ``self``."""
+        for field, (value, mask) in self._fields.items():
+            if field not in other._fields:
+                return False
+            other_value, other_mask = other._fields[field]
+            # self's constrained bits must be a subset of other's and agree.
+            if (mask & other_mask) != mask:
+                return False
+            if (other_value & mask) != value:
+                return False
+        return True
+
+    def overlaps(self, other: "Match") -> bool:
+        """True when at least one packet matches both ``self`` and ``other``."""
+        return self.intersection(other) is not None
+
+    def intersection(self, other: "Match") -> Optional["Match"]:
+        """The match describing packets matched by both, or ``None`` if disjoint."""
+        merged: Dict[HeaderField, Tuple[int, int]] = {}
+        for field in set(self._fields) | set(other._fields):
+            mine = self._fields.get(field)
+            theirs = other._fields.get(field)
+            if mine is None:
+                merged[field] = theirs  # type: ignore[assignment]
+                continue
+            if theirs is None:
+                merged[field] = mine
+                continue
+            value_a, mask_a = mine
+            value_b, mask_b = theirs
+            common = mask_a & mask_b
+            if (value_a & common) != (value_b & common):
+                return None
+            merged[field] = (value_a | value_b, mask_a | mask_b)
+        result = Match()
+        result._fields = merged
+        return result
+
+    def exact_same(self, other: "Match") -> bool:
+        """Field-for-field equality (used for *_STRICT FlowMod semantics)."""
+        return self._fields == other._fields
+
+    # -- construction helpers ---------------------------------------------------
+    def extended(self, **kwargs) -> "Match":
+        """A new match with additional/overridden exact-value constraints."""
+        combined = Match(**kwargs)
+        merged = dict(self._fields)
+        merged.update(combined._fields)
+        result = Match()
+        result._fields = merged
+        return result
+
+    def example_packet_headers(self, default: int = 0) -> Dict[HeaderField, int]:
+        """Header values of one concrete packet satisfying this match.
+
+        Wildcarded fields take ``default`` (clamped to the field width); masked
+        fields take the constrained bits with zeros elsewhere.
+        """
+        headers: Dict[HeaderField, int] = {}
+        for field, (value, _mask) in self._fields.items():
+            headers[field] = value
+        return headers
+
+    # -- dunder -------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Match) and self._fields == other._fields
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted((field.value, value, mask)
+                                 for field, (value, mask) in self._fields.items())))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        if not self._fields:
+            return "Match(*)"
+        parts = []
+        for field, (value, mask) in sorted(self._fields.items(), key=lambda kv: kv[0].value):
+            spec = FIELD_REGISTRY[field]
+            if mask == spec.max_value:
+                parts.append(f"{field.value}={value}")
+            else:
+                parts.append(f"{field.value}={value}/{bin(mask).count('1')}")
+        return "Match(" + ", ".join(parts) + ")"

@@ -1,0 +1,177 @@
+"""The :class:`Packet` class and constructors for data-plane traffic and probes."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, Optional
+
+from repro.packet.addresses import ip_to_int, mac_to_int
+from repro.packet.fields import (
+    ETH_TYPE_IP,
+    FIELD_REGISTRY,
+    HeaderField,
+    IP_PROTO_UDP,
+)
+
+_packet_ids = itertools.count(1)
+
+
+class Packet:
+    """A single data-plane packet.
+
+    Header values are stored as integers keyed by :class:`HeaderField`.
+    Fields that are absent from the mapping are treated as zero by the flow
+    table (OpenFlow 1.0 semantics: a field always has *some* value; only
+    matches can be wildcarded).
+
+    Parameters
+    ----------
+    headers:
+        Mapping of header fields to integer values.
+    payload_size:
+        Payload length in bytes, used by link models for serialisation delay.
+    flow_id:
+        Identifier of the application-level flow this packet belongs to
+        (``None`` for control-plane-originated packets such as probes).
+    created_at:
+        Simulated time at which the packet was created by its sender.
+    """
+
+    __slots__ = (
+        "packet_id",
+        "headers",
+        "payload_size",
+        "flow_id",
+        "created_at",
+        "sequence",
+        "is_probe",
+        "trace",
+    )
+
+    def __init__(
+        self,
+        headers: Dict[HeaderField, int],
+        payload_size: int = 100,
+        flow_id: Optional[str] = None,
+        created_at: float = 0.0,
+        sequence: int = 0,
+        is_probe: bool = False,
+    ) -> None:
+        validated: Dict[HeaderField, int] = {}
+        for field, value in headers.items():
+            field = HeaderField(field)
+            FIELD_REGISTRY[field].validate(value)
+            validated[field] = value
+        self.packet_id = next(_packet_ids)
+        self.headers = validated
+        self.payload_size = int(payload_size)
+        self.flow_id = flow_id
+        self.created_at = created_at
+        self.sequence = sequence
+        self.is_probe = is_probe
+        # List of (time, node_name) hops, filled in by the network simulator.
+        self.trace: list = []
+
+    # -- header access -----------------------------------------------------
+    def get(self, field: HeaderField | str, default: int = 0) -> int:
+        """Value of ``field`` (0 when the packet does not carry it)."""
+        return self.headers.get(HeaderField(field), default)
+
+    def set(self, field: HeaderField | str, value: int) -> None:
+        """Set (rewrite) a header field in place."""
+        field = HeaderField(field)
+        FIELD_REGISTRY[field].validate(value)
+        self.headers[field] = value
+
+    def copy(self) -> "Packet":
+        """A copy with a new identity but the same headers, payload and trace.
+
+        Switches copy packets before applying rewrite actions; the hop trace
+        is carried over because the copy logically *is* the same packet
+        continuing through the network.
+        """
+        clone = Packet(
+            dict(self.headers),
+            payload_size=self.payload_size,
+            flow_id=self.flow_id,
+            created_at=self.created_at,
+            sequence=self.sequence,
+            is_probe=self.is_probe,
+        )
+        clone.trace = list(self.trace)
+        return clone
+
+    def items(self) -> Iterator:
+        """Iterate over ``(field, value)`` pairs."""
+        return iter(self.headers.items())
+
+    @property
+    def total_size(self) -> int:
+        """Approximate wire size in bytes (headers + payload)."""
+        return 42 + self.payload_size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        kind = "probe" if self.is_probe else "pkt"
+        fields = ", ".join(f"{field.value}={value}" for field, value in sorted(
+            self.headers.items(), key=lambda item: item[0].value))
+        return f"<{kind} #{self.packet_id} flow={self.flow_id} {fields}>"
+
+
+def make_ip_packet(
+    ip_src: str | int,
+    ip_dst: str | int,
+    *,
+    eth_src: str | int = "00:00:00:00:00:01",
+    eth_dst: str | int = "00:00:00:00:00:02",
+    ip_proto: int = IP_PROTO_UDP,
+    ip_tos: int = 0,
+    tp_src: int = 10000,
+    tp_dst = 80,
+    vlan_id: int = 0,
+    payload_size: int = 100,
+    flow_id: Optional[str] = None,
+    created_at: float = 0.0,
+    sequence: int = 0,
+) -> Packet:
+    """Build a normal IPv4 data packet (used by the traffic generators)."""
+    headers = {
+        HeaderField.ETH_SRC: mac_to_int(eth_src),
+        HeaderField.ETH_DST: mac_to_int(eth_dst),
+        HeaderField.ETH_TYPE: ETH_TYPE_IP,
+        HeaderField.VLAN_ID: vlan_id,
+        HeaderField.VLAN_PCP: 0,
+        HeaderField.IP_SRC: ip_to_int(ip_src),
+        HeaderField.IP_DST: ip_to_int(ip_dst),
+        HeaderField.IP_PROTO: ip_proto,
+        HeaderField.IP_TOS: ip_tos,
+        HeaderField.TP_SRC: tp_src,
+        HeaderField.TP_DST: tp_dst,
+    }
+    return Packet(
+        headers,
+        payload_size=payload_size,
+        flow_id=flow_id,
+        created_at=created_at,
+        sequence=sequence,
+    )
+
+
+def make_probe_packet(
+    headers: Dict[HeaderField, int],
+    *,
+    created_at: float = 0.0,
+    probe_id: Optional[str] = None,
+) -> Packet:
+    """Build a RUM data-plane probe packet.
+
+    Probes are small, carry no application payload, and are flagged so the
+    delivery monitor does not count them as flow traffic.
+    """
+    packet = Packet(
+        dict(headers),
+        payload_size=0,
+        flow_id=probe_id,
+        created_at=created_at,
+        is_probe=True,
+    )
+    return packet

@@ -1,0 +1,42 @@
+"""Probing algorithms used by RUM's data-plane acknowledgment techniques.
+
+* :mod:`repro.probing.coloring` — Welsh–Powell vertex colouring of the switch
+  adjacency graph, used to assign each switch a probe-catch identifier while
+  keeping the number of reserved header-field values small (Section 3.2.2,
+  "Reducing the number of switch-specific values").
+* :mod:`repro.probing.catch_rules` — constructors for the probe-catch and
+  versioned probe rules that the sequential and general techniques preinstall.
+* :mod:`repro.probing.probe_packets` — probe packet generation for the general
+  technique, including the overlapping-rule checks: the probe must not be
+  captured by a higher-priority rule, and it must be distinguishable from the
+  lower-priority rules it would hit while the probed rule is absent.
+"""
+
+from repro.probing.coloring import assign_switch_values, welsh_powell_coloring
+from repro.probing.catch_rules import (
+    PROBE_CATCH_PRIORITY,
+    PROBE_RULE_PRIORITY,
+    general_catch_flowmod,
+    sequential_catch_flowmod,
+    sequential_probe_rule_flowmod,
+)
+from repro.probing.probe_packets import (
+    ProbeGenerationError,
+    RuleView,
+    generate_probe_headers,
+    probe_key,
+)
+
+__all__ = [
+    "PROBE_CATCH_PRIORITY",
+    "PROBE_RULE_PRIORITY",
+    "ProbeGenerationError",
+    "RuleView",
+    "assign_switch_values",
+    "general_catch_flowmod",
+    "generate_probe_headers",
+    "probe_key",
+    "sequential_catch_flowmod",
+    "sequential_probe_rule_flowmod",
+    "welsh_powell_coloring",
+]

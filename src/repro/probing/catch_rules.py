@@ -1,0 +1,101 @@
+"""Constructors for the rules RUM preinstalls to support data-plane probing.
+
+Two families of rules exist (Sections 3.2.1 and 3.2.2 of the paper):
+
+* sequential probing uses two reserved values (*preprobe*, *postprobe*) of a
+  header field H1 plus a version stored in H2: every switch carries a
+  *probe-catch* rule (``H1 == postprobe -> controller``) and one *probe rule*
+  (``H1 == preprobe -> set H1=postprobe, set H2=version, forward to C``)
+  whose version RUM rewrites after each batch of real modifications;
+* general probing reserves a single field H and gives each switch ``i`` a
+  value ``S_i``; the only preinstalled rule is the probe-catch rule
+  (``H == S_i -> controller``).
+
+The priorities are chosen so the probing rules win on priority-based switches
+and, because RUM installs them before any experiment traffic rules, they also
+win on installation-order switches such as the paper's hardware switch.
+"""
+
+from __future__ import annotations
+
+from repro.openflow.actions import ControllerAction, OutputAction, SetFieldAction
+from repro.openflow.match import Match
+from repro.openflow.messages import FlowMod
+from repro.packet.fields import FIELD_REGISTRY, HeaderField
+
+#: Priority of the probe-catch (send to controller) rules.
+PROBE_CATCH_PRIORITY = 65000
+#: Priority of the versioned probe (rewrite) rules.
+PROBE_RULE_PRIORITY = 64000
+
+
+def _validate_field_value(field: HeaderField, value: int) -> None:
+    FIELD_REGISTRY[HeaderField(field)].validate(value)
+
+
+def general_catch_flowmod(field: HeaderField | str, switch_value: int,
+                          priority: int = PROBE_CATCH_PRIORITY) -> FlowMod:
+    """The probe-catch rule of the general technique for one switch.
+
+    Matches every packet whose reserved field carries this switch's value and
+    sends it to the controller.
+    """
+    field = HeaderField(field)
+    _validate_field_value(field, switch_value)
+    return FlowMod(
+        Match(**{field.value: switch_value}),
+        [ControllerAction()],
+        priority=priority,
+    )
+
+
+def sequential_catch_flowmod(h1_field: HeaderField | str, postprobe_value: int,
+                             priority: int = PROBE_CATCH_PRIORITY) -> FlowMod:
+    """The probe-catch rule of the sequential technique.
+
+    Matches every post-probe packet (``H1 == postprobe``) regardless of the
+    version stored in H2 and sends it to the controller.
+    """
+    h1_field = HeaderField(h1_field)
+    _validate_field_value(h1_field, postprobe_value)
+    return FlowMod(
+        Match(**{h1_field.value: postprobe_value}),
+        [ControllerAction()],
+        priority=priority,
+    )
+
+
+def sequential_probe_rule_flowmod(
+    h1_field: HeaderField | str,
+    preprobe_value: int,
+    postprobe_value: int,
+    h2_field: HeaderField | str,
+    version: int,
+    output_port: int,
+    priority: int = PROBE_RULE_PRIORITY,
+) -> FlowMod:
+    """The versioned probe rule installed at (and later modified on) the
+    probed switch.
+
+    Matches pre-probe packets, rewrites them into post-probes carrying the
+    current ``version`` in H2, and forwards them towards the neighbour whose
+    probe-catch rule will report them to the controller.
+    """
+    h1_field = HeaderField(h1_field)
+    h2_field = HeaderField(h2_field)
+    if h1_field == h2_field:
+        raise ValueError("H1 and H2 must be different header fields")
+    _validate_field_value(h1_field, preprobe_value)
+    _validate_field_value(h1_field, postprobe_value)
+    _validate_field_value(h2_field, version)
+    if preprobe_value == postprobe_value:
+        raise ValueError("preprobe and postprobe values must differ")
+    return FlowMod(
+        Match(**{h1_field.value: preprobe_value}),
+        [
+            SetFieldAction(h1_field, postprobe_value),
+            SetFieldAction(h2_field, version),
+            OutputAction(output_port),
+        ],
+        priority=priority,
+    )

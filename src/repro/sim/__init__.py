@@ -1,0 +1,43 @@
+"""Discrete-event simulation kernel used by every substrate in the repo.
+
+The kernel is deliberately small and dependency free.  It follows the
+generator-based process model popularised by SimPy: a *process* is a Python
+generator that ``yield``s either a :class:`Timeout` (sleep for some simulated
+time), an :class:`Event` (wait until somebody triggers it), or another
+:class:`Process` (wait for it to finish).  The :class:`Simulator` owns the
+event heap and the notion of "now".
+
+Example
+-------
+>>> from repro.sim import Simulator, Timeout
+>>> sim = Simulator()
+>>> log = []
+>>> def worker(sim, name, delay):
+...     yield Timeout(delay)
+...     log.append((sim.now, name))
+>>> _ = sim.process(worker(sim, "a", 2.0))
+>>> _ = sim.process(worker(sim, "b", 1.0))
+>>> sim.run()
+>>> log
+[(1.0, 'b'), (2.0, 'a')]
+"""
+
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.kernel import Simulator, StopSimulation
+from repro.sim.process import Process, ProcessError
+from repro.sim.rng import SeededRandom
+from repro.sim.resources import Queue, Resource
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Process",
+    "ProcessError",
+    "Queue",
+    "Resource",
+    "SeededRandom",
+    "Simulator",
+    "StopSimulation",
+    "Timeout",
+]

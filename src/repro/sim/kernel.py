@@ -1,0 +1,137 @@
+"""The discrete-event simulation kernel.
+
+The :class:`Simulator` keeps a priority queue of scheduled callbacks keyed by
+``(time, sequence_number)`` so that events scheduled for the same instant run
+in FIFO order — a property the switch and network models rely on to keep
+packet and message ordering deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from repro.sim.events import Event, Timeout
+from repro.sim.process import Process
+
+
+class StopSimulation(Exception):
+    """Raised by user code to stop :meth:`Simulator.run` immediately."""
+
+
+class Simulator:
+    """Discrete-event simulator.
+
+    Time is a float in **seconds** throughout the repository (the paper's
+    measurements are all in milliseconds; keeping seconds and converting for
+    display avoids unit mistakes).
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._heap: List[Tuple[float, int, Callable, tuple]] = []
+        self._sequence = 0
+        self._active_process: Optional[Process] = None
+        self._running = False
+        self.metadata: dict = {}
+
+    # -- time ---------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- scheduling -----------------------------------------------------------
+    def schedule_callback(self, delay: float, callback: Callable, *args: Any) -> None:
+        """Run ``callback(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay})")
+        heapq.heappush(self._heap, (self._now + delay, self._sequence, callback, args))
+        self._sequence += 1
+
+    def schedule_event(self, delay: float, value: Any = None, name: str = "") -> Event:
+        """Create an event that succeeds with ``value`` after ``delay`` seconds."""
+        event = Event(name=name)
+        event.sim = self
+        self.schedule_callback(delay, self._trigger_if_pending, event, value)
+        return event
+
+    @staticmethod
+    def _trigger_if_pending(event: Event, value: Any) -> None:
+        if not event.triggered:
+            event.succeed(value)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create and schedule a :class:`Timeout` (usable outside processes too)."""
+        timeout = Timeout(delay, value=value)
+        self._schedule_timeout(timeout)
+        return timeout
+
+    def _schedule_timeout(self, timeout: Timeout) -> None:
+        timeout.sim = self
+        self.schedule_callback(timeout.delay, self._trigger_if_pending, timeout, timeout.value)
+
+    def event(self, name: str = "") -> Event:
+        """Create an untriggered event bound to this simulator."""
+        event = Event(name=name)
+        event.sim = self
+        return event
+
+    # -- processes -------------------------------------------------------------
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Start a new process from ``generator`` and return it."""
+        process = Process(self, generator, name=name)
+        self.schedule_callback(0.0, process._start)
+        return process
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being stepped (``None`` outside process code)."""
+        return self._active_process
+
+    # -- execution ---------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next scheduled callback.  Returns ``False`` if none are left."""
+        if not self._heap:
+            return False
+        time, _seq, callback, args = heapq.heappop(self._heap)
+        if time < self._now - 1e-12:
+            raise RuntimeError("simulation time went backwards (kernel bug)")
+        self._now = max(self._now, time)
+        callback(*args)
+        return True
+
+    def run(self, until: Optional[float] = None, max_steps: Optional[int] = None) -> None:
+        """Run until the event heap drains, ``until`` seconds, or ``max_steps`` callbacks.
+
+        Parameters
+        ----------
+        until:
+            Absolute simulated time at which to stop.  Events scheduled at
+            exactly ``until`` are still executed.
+        max_steps:
+            Safety valve for tests; raises :class:`RuntimeError` when exceeded.
+        """
+        self._running = True
+        steps = 0
+        try:
+            while self._heap:
+                if until is not None and self._heap[0][0] > until:
+                    self._now = until
+                    break
+                if max_steps is not None and steps >= max_steps:
+                    raise RuntimeError(f"simulation exceeded max_steps={max_steps}")
+                try:
+                    self.step()
+                except StopSimulation:
+                    break
+                steps += 1
+        finally:
+            self._running = False
+
+    def peek(self) -> Optional[float]:
+        """Time of the next scheduled callback, or ``None`` if the heap is empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<Simulator now={self._now:.6f} pending={len(self._heap)}>"

@@ -1,0 +1,128 @@
+"""Simple synchronisation resources built on the kernel: FIFO queues and
+counted resources.
+
+These are used by the switch models (control-plane command queues), the
+connection layer (in-flight message queues) and the RUM proxy (pending
+acknowledgment windows).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from repro.sim.events import Event
+from repro.sim.kernel import Simulator
+
+
+class Queue:
+    """Unbounded FIFO queue with blocking ``get`` for simulation processes.
+
+    ``put`` never blocks.  ``get`` returns an :class:`Event` that a process can
+    ``yield``; it completes with the next item as soon as one is available.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def pending_getters(self) -> int:
+        """Number of processes currently blocked on :meth:`get`."""
+        return len(self._getters)
+
+    def put(self, item: Any) -> None:
+        """Append ``item``; wakes the oldest waiting getter if there is one."""
+        if self._getters:
+            getter = self._getters.popleft()
+            # Deliver asynchronously so the producer is not re-entered by the
+            # consumer's continuation.
+            self.sim.schedule_callback(0.0, self._deliver, getter, item)
+        else:
+            self._items.append(item)
+
+    @staticmethod
+    def _deliver(getter: Event, item: Any) -> None:
+        if not getter.triggered:
+            getter.succeed(item)
+
+    def get(self) -> Event:
+        """Return an event that completes with the next item."""
+        event = self.sim.event(name=f"{self.name}.get")
+        if self._items:
+            item = self._items.popleft()
+            self.sim.schedule_callback(0.0, self._deliver, event, item)
+        else:
+            self._getters.append(event)
+        return event
+
+    def get_nowait(self) -> Optional[Any]:
+        """Pop and return the next item, or ``None`` when empty."""
+        if self._items:
+            return self._items.popleft()
+        return None
+
+    def clear(self) -> None:
+        """Drop all queued items (waiting getters stay blocked)."""
+        self._items.clear()
+
+    def snapshot(self) -> list:
+        """A copy of the queued items, oldest first (for inspection in tests)."""
+        return list(self._items)
+
+
+class Resource:
+    """A counted resource with FIFO hand-off (like a semaphore).
+
+    Used for modelling limited parallelism, e.g. a switch control plane that
+    processes one command at a time.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = "") -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently-held slots."""
+        return self._in_use
+
+    @property
+    def queued(self) -> int:
+        """Number of acquire requests waiting for a slot."""
+        return len(self._waiters)
+
+    def acquire(self) -> Event:
+        """Return an event that completes once a slot is granted."""
+        event = self.sim.event(name=f"{self.name}.acquire")
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            self.sim.schedule_callback(0.0, self._grant, event)
+        else:
+            self._waiters.append(event)
+        return event
+
+    @staticmethod
+    def _grant(event: Event) -> None:
+        if not event.triggered:
+            event.succeed()
+
+    def release(self) -> None:
+        """Release a previously-acquired slot."""
+        if self._in_use <= 0:
+            raise RuntimeError(f"release() of resource {self.name!r} that is not held")
+        if self._waiters:
+            waiter = self._waiters.popleft()
+            self.sim.schedule_callback(0.0, self._grant, waiter)
+        else:
+            self._in_use -= 1

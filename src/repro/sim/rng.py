@@ -1,0 +1,90 @@
+"""Seeded randomness helpers.
+
+Every experiment in the repository must be reproducible run-to-run, so all
+stochastic behaviour (jitter on switch processing times, probe packet header
+randomisation, traffic start offsets) flows through a :class:`SeededRandom`
+instance owned by the experiment configuration rather than the global
+``random`` module.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class SeededRandom:
+    """Thin wrapper around :class:`random.Random` with a few domain helpers."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._random = random.Random(seed)
+
+    # -- passthroughs -------------------------------------------------------
+    def uniform(self, low: float, high: float) -> float:
+        """Uniform float in ``[low, high]``."""
+        return self._random.uniform(low, high)
+
+    def randint(self, low: int, high: int) -> int:
+        """Uniform integer in ``[low, high]`` inclusive."""
+        return self._random.randint(low, high)
+
+    def choice(self, seq: Sequence[T]) -> T:
+        """Uniformly pick one element of ``seq``."""
+        return self._random.choice(seq)
+
+    def shuffle(self, seq: List[T]) -> List[T]:
+        """Return a new list with the elements of ``seq`` shuffled."""
+        shuffled = list(seq)
+        self._random.shuffle(shuffled)
+        return shuffled
+
+    def sample(self, seq: Sequence[T], k: int) -> List[T]:
+        """Sample ``k`` distinct elements."""
+        return self._random.sample(seq, k)
+
+    def expovariate(self, rate: float) -> float:
+        """Exponential inter-arrival sample with the given rate (1/mean)."""
+        return self._random.expovariate(rate)
+
+    def gauss(self, mean: float, stddev: float) -> float:
+        """Normal sample."""
+        return self._random.gauss(mean, stddev)
+
+    # -- domain helpers --------------------------------------------------------
+    def jitter(self, base: float, fraction: float) -> float:
+        """``base`` scaled by a uniform factor in ``[1 - fraction, 1 + fraction]``.
+
+        Used to avoid perfectly-synchronised artefacts in the switch and
+        traffic models while staying reproducible.
+        """
+        if fraction <= 0:
+            return base
+        return base * self.uniform(1.0 - fraction, 1.0 + fraction)
+
+    def spread_start_times(self, count: int, window: float) -> List[float]:
+        """``count`` start offsets uniformly spread over ``[0, window)``."""
+        return sorted(self.uniform(0.0, window) for _ in range(count))
+
+    def fork(self, label: str) -> "SeededRandom":
+        """Derive an independent, deterministic child generator.
+
+        Forking keeps unrelated components (e.g. traffic vs. switch jitter)
+        statistically independent while still fully determined by the
+        top-level experiment seed.
+        """
+        child_seed = (hash((self.seed, label)) & 0x7FFFFFFF) or 1
+        return SeededRandom(child_seed)
+
+
+def round_robin(items: Iterable[T]) -> Iterable[T]:
+    """Yield items forever, cycling (tiny helper for probe scheduling)."""
+    pool = list(items)
+    if not pool:
+        return
+    index = 0
+    while True:
+        yield pool[index % len(pool)]
+        index += 1

@@ -1,0 +1,185 @@
+"""The composed switch model: ports + control plane + data plane."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.openflow.actions import Action, apply_actions
+from repro.openflow.connection import ConnectionEndpoint
+from repro.openflow.constants import CONTROLLER_PORT, FLOOD_PORT, PacketInReason
+from repro.openflow.messages import FlowMod, OFMessage, PacketIn
+from repro.packet.packet import Packet
+from repro.sim.kernel import Simulator
+from repro.sim.rng import SeededRandom
+from repro.switches.controlplane import ControlPlane
+from repro.switches.dataplane import DataPlane
+from repro.switches.profiles import SwitchProfile
+
+#: Signature of the callable a port uses to hand a packet to its link:
+#: ``(packet) -> None``.
+PortTransmit = Callable[[Packet], None]
+
+
+class Switch:
+    """One OpenFlow switch in the simulated network.
+
+    The switch is profile-driven: all behavioural differences between the
+    well-behaved software switches and the buggy hardware switch live in the
+    :class:`~repro.switches.profiles.SwitchProfile`, not in subclasses.
+    :class:`~repro.switches.software.SoftwareSwitch` and
+    :class:`~repro.switches.hardware.HardwareSwitch` only pick defaults.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        profile: SwitchProfile,
+        datapath_id: Optional[int] = None,
+        rng: Optional[SeededRandom] = None,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.profile = profile
+        self.datapath_id = datapath_id if datapath_id is not None else abs(hash(name)) % (1 << 32)
+        self.rng = rng or SeededRandom(self.datapath_id & 0xFFFF)
+
+        self.dataplane = DataPlane(
+            table_mode=profile.table_mode,
+            capacity=profile.table_capacity,
+            name=f"{name}.data",
+        )
+        self.controlplane = ControlPlane(
+            sim,
+            profile,
+            send_to_controller=self._send_to_controller,
+            apply_to_dataplane=self.dataplane.apply_flowmod,
+            inject_packet=self.inject_packet,
+            rng=self.rng.fork("controlplane"),
+            datapath_id=self.datapath_id,
+            ports=[],
+            name=name,
+        )
+
+        self._ports: Dict[int, PortTransmit] = {}
+        self._controller_endpoint: Optional[ConnectionEndpoint] = None
+        self._started = False
+
+        # Counters used by tests and the microbenchmarks.
+        self.packets_received = 0
+        self.packets_forwarded = 0
+        self.packets_to_controller = 0
+
+    # -- wiring ----------------------------------------------------------------
+    def attach_port(self, port_no: int, transmit: PortTransmit) -> None:
+        """Attach a link transmit function to ``port_no``."""
+        if port_no in self._ports:
+            raise ValueError(f"port {port_no} of {self.name} already attached")
+        self._ports[port_no] = transmit
+        self.controlplane.ports = sorted(self._ports)
+
+    @property
+    def port_numbers(self) -> List[int]:
+        """The attached port numbers, sorted."""
+        return sorted(self._ports)
+
+    def connect_controller(self, endpoint: ConnectionEndpoint) -> None:
+        """Bind the switch to its side of a controller connection."""
+        self._controller_endpoint = endpoint
+        endpoint.on_message(self.controlplane.receive)
+
+    def start(self) -> None:
+        """Start the switch's control-plane processes."""
+        if self._started:
+            return
+        self._started = True
+        self.controlplane.start()
+
+    # -- control plane output ---------------------------------------------------
+    def _send_to_controller(self, message: OFMessage) -> None:
+        if self._controller_endpoint is None:
+            return
+        self._controller_endpoint.send(message)
+
+    # -- data plane ----------------------------------------------------------------
+    def receive_packet(self, packet: Packet, in_port: int) -> None:
+        """A packet arrived on ``in_port``; classify and forward it."""
+        self.packets_received += 1
+        packet.trace.append((self.sim.now, self.name))
+        self.sim.schedule_callback(
+            self.profile.forwarding_latency, self._forward, packet, in_port
+        )
+
+    def _forward(self, packet: Packet, in_port: int) -> None:
+        result = self.dataplane.process_packet(packet, in_port)
+        if result.to_controller:
+            self.packets_to_controller += 1
+            captured = result.packet.copy() if result.packet is not None else packet.copy()
+            self.controlplane.send_packet_in(
+                lambda: PacketIn(
+                    captured,
+                    in_port=in_port,
+                    reason=PacketInReason.ACTION,
+                    datapath_id=self.datapath_id,
+                )
+            )
+        for port in result.output_ports:
+            self._transmit(result.packet, port, in_port)
+
+    def inject_packet(self, packet: Packet, actions: List[Action], in_port: int) -> None:
+        """PacketOut semantics: apply ``actions`` to ``packet`` and emit it."""
+        forwarded = packet.copy()
+        ports = apply_actions(forwarded, actions)
+        for port in ports:
+            if port == CONTROLLER_PORT:
+                captured = forwarded.copy()
+                self.controlplane.send_packet_in(
+                    lambda: PacketIn(
+                        captured,
+                        in_port=in_port,
+                        reason=PacketInReason.ACTION,
+                        datapath_id=self.datapath_id,
+                    )
+                )
+            else:
+                self._transmit(forwarded, port, in_port)
+
+    def _transmit(self, packet: Packet, port: int, in_port: int) -> None:
+        if port == FLOOD_PORT:
+            for port_no, transmit in self._ports.items():
+                if port_no != in_port:
+                    self.packets_forwarded += 1
+                    transmit(packet.copy())
+            return
+        transmit = self._ports.get(port)
+        if transmit is None:
+            # Forwarding to a non-existent port silently drops, as hardware does.
+            return
+        self.packets_forwarded += 1
+        transmit(packet)
+
+    # -- convenience for tests ---------------------------------------------------------
+    def install_rule_directly(self, flowmod: FlowMod) -> None:
+        """Apply a rule to both planes immediately, bypassing the control channel.
+
+        Used by tests and by experiment setup phases that pre-install state
+        before the measured part of a run begins.
+        """
+        self.controlplane.table.apply_flowmod(flowmod, now=self.sim.now)
+        self.dataplane.apply_flowmod(flowmod, now=self.sim.now)
+
+    def rules_in_dataplane(self) -> int:
+        """Number of rules currently visible to packets."""
+        return self.dataplane.occupancy()
+
+    def rules_in_controlplane(self) -> int:
+        """Number of rules in the control-plane table."""
+        return len(self.controlplane.table)
+
+    def planes_agree(self) -> bool:
+        """Whether control- and data-plane tables currently hold the same rules."""
+        control_only, data_only = self.dataplane.divergence_from(self.controlplane.table)
+        return not control_only and not data_only
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<Switch {self.name} profile={self.profile.name} ports={self.port_numbers}>"

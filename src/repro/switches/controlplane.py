@@ -1,0 +1,362 @@
+"""The switch control plane: the OpenFlow agent.
+
+The control plane consumes messages from the controller connection in FIFO
+order, spends model-defined CPU time on each, updates its *own* flow table
+immediately, and hands rule modifications to the data-plane synchronisation
+machinery defined by the switch profile.  Depending on the profile it answers
+barriers either when the control plane has caught up (buggy, observed on
+hardware) or when the data plane has (correct).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.openflow.constants import FlowModCommand, StatsType
+from repro.openflow.flowtable import FlowTable, TableFullError
+from repro.openflow.messages import (
+    BarrierReply,
+    BarrierRequest,
+    EchoReply,
+    EchoRequest,
+    ErrorMessage,
+    FeaturesReply,
+    FeaturesRequest,
+    FlowMod,
+    Hello,
+    OFMessage,
+    PacketOut,
+    StatsReply,
+    StatsRequest,
+)
+from repro.openflow.constants import OFErrorCode, OFErrorType
+from repro.packet.packet import Packet
+from repro.sim.kernel import Simulator
+from repro.sim.resources import Queue
+from repro.sim.rng import SeededRandom
+from repro.switches.profiles import BarrierMode, DataPlaneSyncModel, SwitchProfile
+
+_op_ids = itertools.count(1)
+
+
+class PendingOperation:
+    """A rule modification accepted by the control plane but not yet visible
+    in the data plane."""
+
+    __slots__ = (
+        "op_id",
+        "flowmod",
+        "received_at",
+        "control_applied_at",
+        "barrier_epoch",
+        "applied",
+        "applied_at",
+    )
+
+    def __init__(self, flowmod: FlowMod, received_at: float, barrier_epoch: int) -> None:
+        self.op_id = next(_op_ids)
+        self.flowmod = flowmod
+        self.received_at = received_at
+        self.control_applied_at: Optional[float] = None
+        self.barrier_epoch = barrier_epoch
+        self.applied = False
+        self.applied_at: Optional[float] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        state = "applied" if self.applied else "pending"
+        return f"<PendingOp #{self.op_id} xid={self.flowmod.xid} {state}>"
+
+
+class _BarrierWaiter:
+    """Bookkeeping for a barrier whose reply must wait for the data plane."""
+
+    __slots__ = ("request", "waiting_for", "replied")
+
+    def __init__(self, request: BarrierRequest, waiting_for: set) -> None:
+        self.request = request
+        self.waiting_for = waiting_for
+        self.replied = False
+
+
+class ControlPlane:
+    """OpenFlow agent of one switch.
+
+    Parameters
+    ----------
+    sim:
+        The simulation kernel.
+    profile:
+        Behavioural calibration (:class:`SwitchProfile`).
+    send_to_controller:
+        Callback used to emit messages on the controller connection.
+    apply_to_dataplane:
+        Callback ``(flowmod, now) -> None`` that makes a rule visible to
+        packets.
+    inject_packet:
+        Callback ``(packet, actions, in_port) -> None`` implementing
+        PacketOut semantics on the data plane / ports.
+    rng:
+        Seeded randomness source for jitter and reordering.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        profile: SwitchProfile,
+        send_to_controller: Callable[[OFMessage], None],
+        apply_to_dataplane: Callable[[FlowMod, float], None],
+        inject_packet: Callable[[Packet, list, int], None],
+        rng: Optional[SeededRandom] = None,
+        datapath_id: int = 1,
+        ports: Optional[List[int]] = None,
+        name: str = "switch",
+    ) -> None:
+        profile.validate()
+        self.sim = sim
+        self.profile = profile
+        self.name = name
+        self.datapath_id = datapath_id
+        self.ports = list(ports or [])
+        self._send = send_to_controller
+        self._apply_to_dataplane = apply_to_dataplane
+        self._inject_packet = inject_packet
+        self.rng = rng or SeededRandom(datapath_id)
+
+        #: Control-plane view of the flow table (always up to date with
+        #: processed FlowMods; may be *ahead* of the data plane).
+        self.table = FlowTable(mode=profile.table_mode, capacity=profile.table_capacity,
+                               name=f"{name}.control")
+
+        self.inbox: Queue = Queue(sim, name=f"{name}.inbox")
+        self._pending_ops: Deque[PendingOperation] = deque()
+        self._barrier_waiters: List[_BarrierWaiter] = []
+        self._barrier_epoch = 0
+        self._stolen_time = 0.0
+        self._next_packet_out_time = 0.0
+        self._next_packet_in_time = 0.0
+
+        # Measurement hooks ---------------------------------------------------
+        #: ``flowmod xid -> control-plane apply time``.
+        self.control_apply_log: Dict[int, float] = {}
+        #: ``(time, barrier xid)`` for every barrier reply sent.
+        self.barrier_reply_log: List[Tuple[float, int]] = []
+        self.flowmods_processed = 0
+        self.packet_outs_processed = 0
+        self.packet_ins_sent = 0
+
+        self._processes_started = False
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> None:
+        """Start the control-plane processing and data-plane sync processes."""
+        if self._processes_started:
+            return
+        self._processes_started = True
+        self.sim.process(self._main_loop(), name=f"{self.name}.controlplane")
+        if self.profile.sync_model == DataPlaneSyncModel.PERIODIC_BATCH:
+            self.sim.process(self._periodic_sync_loop(), name=f"{self.name}.sync")
+        elif self.profile.sync_model == DataPlaneSyncModel.RATE_LIMITED:
+            self.sim.process(self._rate_limited_sync_loop(), name=f"{self.name}.sync")
+
+    def receive(self, message: OFMessage) -> None:
+        """Entry point for messages arriving on the controller connection."""
+        self.inbox.put(message)
+
+    # -- properties ------------------------------------------------------------
+    @property
+    def pending_dataplane_ops(self) -> int:
+        """Number of modifications not yet visible in the data plane."""
+        return len(self._pending_ops)
+
+    # -- main control-plane loop ---------------------------------------------------
+    def _main_loop(self):
+        while True:
+            message = yield self.inbox.get()
+            # Time stolen by PacketIn encapsulation since the last message is
+            # charged here, serialising it with FlowMod processing the way a
+            # single management CPU would.
+            if self._stolen_time > 0:
+                stolen, self._stolen_time = self._stolen_time, 0.0
+                yield stolen
+            yield from self._dispatch(message)
+
+    def _dispatch(self, message: OFMessage):
+        if isinstance(message, FlowMod):
+            yield from self._handle_flowmod(message)
+        elif isinstance(message, BarrierRequest):
+            yield from self._handle_barrier(message)
+        elif isinstance(message, PacketOut):
+            yield from self._handle_packet_out(message)
+        elif isinstance(message, EchoRequest):
+            yield self.profile.trivial_processing_time
+            self._send(EchoReply(payload=message.payload, xid=message.xid))
+        elif isinstance(message, FeaturesRequest):
+            yield self.profile.trivial_processing_time
+            self._send(FeaturesReply(self.datapath_id, self.ports, xid=message.xid))
+        elif isinstance(message, StatsRequest):
+            yield from self._handle_stats(message)
+        elif isinstance(message, Hello):
+            yield self.profile.trivial_processing_time
+        else:
+            # Unknown message: consume trivial time and ignore, as a real
+            # agent would for unsupported-but-harmless messages.
+            yield self.profile.trivial_processing_time
+
+    # -- FlowMod ---------------------------------------------------------------------
+    def _handle_flowmod(self, flowmod: FlowMod):
+        processing = self.rng.jitter(
+            self.profile.flowmod_processing_time(len(self.table)),
+            self.profile.flowmod_jitter,
+        )
+        yield processing
+        try:
+            self.table.apply_flowmod(flowmod, now=self.sim.now)
+        except TableFullError:
+            self._send(ErrorMessage(OFErrorType.FLOW_MOD_FAILED,
+                                    int(OFErrorCode.ALL_TABLES_FULL), data=flowmod.xid,
+                                    xid=flowmod.xid))
+            return
+        self.flowmods_processed += 1
+        self.control_apply_log[flowmod.xid] = self.sim.now
+
+        operation = PendingOperation(flowmod, received_at=self.sim.now,
+                                     barrier_epoch=self._barrier_epoch)
+        operation.control_applied_at = self.sim.now
+        if self.profile.sync_model == DataPlaneSyncModel.IMMEDIATE:
+            self._apply_operation(operation)
+        else:
+            self._pending_ops.append(operation)
+
+    def _apply_operation(self, operation: PendingOperation) -> None:
+        self._apply_to_dataplane(operation.flowmod, self.sim.now)
+        operation.applied = True
+        operation.applied_at = self.sim.now
+        self._check_barrier_waiters(operation)
+
+    # -- barriers ---------------------------------------------------------------------
+    def _handle_barrier(self, request: BarrierRequest):
+        yield self.profile.trivial_processing_time
+        self._barrier_epoch += 1
+        if (self.profile.barrier_mode == BarrierMode.CONTROL_PLANE
+                or not self._pending_ops):
+            self._send_barrier_reply(request)
+            return
+        waiter = _BarrierWaiter(request, {op.op_id for op in self._pending_ops})
+        self._barrier_waiters.append(waiter)
+
+    def _send_barrier_reply(self, request: BarrierRequest) -> None:
+        self.barrier_reply_log.append((self.sim.now, request.xid))
+        self._send(BarrierReply(xid=request.xid))
+
+    def _check_barrier_waiters(self, operation: PendingOperation) -> None:
+        finished: List[_BarrierWaiter] = []
+        for waiter in self._barrier_waiters:
+            waiter.waiting_for.discard(operation.op_id)
+            if not waiter.waiting_for and not waiter.replied:
+                waiter.replied = True
+                finished.append(waiter)
+        if finished:
+            self._barrier_waiters = [w for w in self._barrier_waiters if not w.replied]
+            for waiter in finished:
+                self._send_barrier_reply(waiter.request)
+
+    # -- PacketOut / PacketIn -------------------------------------------------------------
+    def _handle_packet_out(self, message: PacketOut):
+        yield self.profile.packet_out_processing_time
+        self.packet_outs_processed += 1
+        # Enforce the hardware PacketOut rate cap on the egress side.
+        spacing = 1.0 / self.profile.packet_out_rate
+        emit_at = max(self.sim.now, self._next_packet_out_time)
+        self._next_packet_out_time = emit_at + spacing
+        delay = emit_at - self.sim.now
+        self.sim.schedule_callback(
+            delay, self._inject_packet, message.packet, message.actions, message.in_port
+        )
+
+    def send_packet_in(self, packet_in_factory: Callable[[], OFMessage]) -> None:
+        """Rate-limit and send a PacketIn built by ``packet_in_factory``.
+
+        Called from the data-plane path; charges the (small) encapsulation
+        cost to the control-plane CPU as stolen time.
+        """
+        spacing = 1.0 / self.profile.packet_in_rate
+        emit_at = max(self.sim.now, self._next_packet_in_time)
+        self._next_packet_in_time = emit_at + spacing
+        self._stolen_time += self.profile.packet_in_processing_time
+        self.packet_ins_sent += 1
+        self.sim.schedule_callback(emit_at - self.sim.now, lambda: self._send(packet_in_factory()))
+
+    # -- statistics ---------------------------------------------------------------------------
+    def _handle_stats(self, request: StatsRequest):
+        yield self.profile.trivial_processing_time
+        if request.stats_type == StatsType.FLOW:
+            body = [
+                {
+                    "priority": entry.priority,
+                    "match": repr(entry.match),
+                    "packets": entry.packet_count,
+                    "bytes": entry.byte_count,
+                }
+                for entry in self.table
+                if request.match.is_match_all or request.match.covers(entry.match)
+            ]
+        elif request.stats_type == StatsType.TABLE:
+            body = [{"table": self.table.name, "active": len(self.table)}]
+        elif request.stats_type == StatsType.AGGREGATE:
+            body = [{
+                "flows": len(self.table),
+                "packets": sum(entry.packet_count for entry in self.table),
+            }]
+        else:
+            body = [{"switch": self.name, "datapath_id": self.datapath_id}]
+        self._send(StatsReply(request.stats_type, body=body, xid=request.xid))
+
+    # -- data-plane synchronisation ------------------------------------------------------------
+    def _periodic_sync_loop(self):
+        """PERIODIC_BATCH model: every ``sync_period`` push all pending ops."""
+        # Offset the first round so switches created together do not sync in
+        # lock step (the hardware's sync phase is arbitrary relative to the
+        # controller's update).
+        yield self.rng.uniform(0.0, max(self.profile.sync_period, 1e-6))
+        while True:
+            if self._pending_ops:
+                batch = list(self._pending_ops)
+                self._pending_ops.clear()
+                if self.profile.reorders_across_barriers and len(batch) > 1:
+                    batch = self.rng.shuffle(batch)
+                for operation in batch:
+                    if self.profile.sync_per_rule_time > 0:
+                        yield self.profile.sync_per_rule_time
+                    self._apply_operation(operation)
+            yield self.profile.sync_period
+
+    def _rate_limited_sync_loop(self):
+        """RATE_LIMITED model: ops trickle into the data plane at a bounded rate.
+
+        The effective per-rule apply time grows with the number of rules
+        already pushed to the data plane (TCAM insertion slows down as the
+        table fills), which is what makes the lag between control plane and
+        data plane grow over a long burst of modifications.
+        """
+        base_spacing = 1.0 / self.profile.dataplane_apply_rate
+        applied = 0
+        while True:
+            if not self._pending_ops:
+                yield base_spacing / 4
+                continue
+            if self.profile.reorders_across_barriers and len(self._pending_ops) > 1:
+                index = self.rng.randint(0, len(self._pending_ops) - 1)
+                operation = self._pending_ops[index]
+                del self._pending_ops[index]
+            else:
+                operation = self._pending_ops.popleft()
+            spacing = base_spacing * (
+                1.0 + self.profile.dataplane_occupancy_slowdown * applied
+            )
+            earliest = operation.control_applied_at + self.profile.dataplane_extra_latency
+            wait = max(spacing, earliest - self.sim.now)
+            yield wait
+            self._apply_operation(operation)
+            applied += 1

@@ -1,0 +1,36 @@
+"""The well-behaved software switch used as S1, S3 and the probe helpers."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.kernel import Simulator
+from repro.sim.rng import SeededRandom
+from repro.switches.base import Switch
+from repro.switches.profiles import SwitchProfile, software_switch_profile
+
+
+class SoftwareSwitch(Switch):
+    """An Open vSwitch-like switch.
+
+    Rules become visible to the data plane as soon as the control plane
+    processes them and barrier replies are only sent once that has happened,
+    so all acknowledgment techniques (including the plain barrier baseline)
+    are trustworthy on this switch.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        profile: Optional[SwitchProfile] = None,
+        datapath_id: Optional[int] = None,
+        rng: Optional[SeededRandom] = None,
+    ) -> None:
+        super().__init__(
+            sim,
+            name,
+            profile if profile is not None else software_switch_profile(),
+            datapath_id=datapath_id,
+            rng=rng,
+        )

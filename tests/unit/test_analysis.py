@@ -1,0 +1,162 @@
+"""Unit tests for the analysis/measurement utilities."""
+
+import pytest
+
+from repro.analysis import (
+    Distribution,
+    cdf_points,
+    format_table,
+    percentile,
+    render_cdf,
+    render_series,
+    summarize_distribution,
+)
+from repro.analysis.activation import ActivationDelays
+from repro.analysis.cdf import fraction_at_least
+from repro.analysis.flowstats import (
+    FlowUpdateStats,
+    broken_time_distribution,
+    flow_update_stats,
+    mean_update_time,
+    total_dropped,
+    update_completion_time,
+)
+from repro.analysis.report import render_flow_update_curves
+from repro.net.monitor import DeliveryMonitor, DeliveryRecord
+
+
+# -- cdf / distribution ---------------------------------------------------------
+
+def test_percentile_interpolates():
+    values = [0.0, 1.0, 2.0, 3.0, 4.0]
+    assert percentile(values, 0.0) == 0.0
+    assert percentile(values, 1.0) == 4.0
+    assert percentile(values, 0.5) == 2.0
+    assert percentile(values, 0.25) == 1.0
+
+
+def test_percentile_rejects_bad_input():
+    with pytest.raises(ValueError):
+        percentile([], 0.5)
+    with pytest.raises(ValueError):
+        percentile([1.0], 1.5)
+
+
+def test_cdf_points_monotone():
+    points = cdf_points([3.0, 1.0, 2.0])
+    assert points == [(1.0, pytest.approx(1 / 3)), (2.0, pytest.approx(2 / 3)), (3.0, 1.0)]
+    assert cdf_points([]) == []
+
+
+def test_fraction_at_least():
+    values = [0.1, 0.2, 0.3, 0.4]
+    assert fraction_at_least(values, 0.25) == 0.5
+    assert fraction_at_least([], 1.0) == 0.0
+
+
+def test_distribution_summary():
+    summary = Distribution.from_values([1.0, 2.0, 3.0, 4.0])
+    assert summary.count == 4
+    assert summary.mean == 2.5
+    assert summary.minimum == 1.0 and summary.maximum == 4.0
+    assert set(summary.as_dict()) == {"count", "min", "max", "mean", "median", "p10", "p90", "p99"}
+    with pytest.raises(ValueError):
+        Distribution.from_values([])
+
+
+# -- report rendering ---------------------------------------------------------------
+
+def test_format_table_alignment_and_validation():
+    text = format_table(["a", "bb"], [[1, 2.5], ["xx", "y"]], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "bb" in lines[1]
+    with pytest.raises(ValueError):
+        format_table(["a"], [[1, 2]])
+
+
+def test_render_series_and_cdf_do_not_crash():
+    assert "series" in render_series({"x": [1.0, 2.0], "empty": []})
+    assert "p 50" in render_cdf([0.1] * 100) or "p" in render_cdf([0.1] * 100)
+    assert "no samples" in summarize_distribution([], label="none")
+    assert "n=3" in summarize_distribution([1.0, 2.0, 3.0], label="some")
+
+
+def test_render_flow_update_curves_handles_missing_values():
+    text = render_flow_update_curves({
+        "ok": [(0.1, 0.2), (0.2, 0.3)],
+        "never-switched": [(0.1, None)],
+    })
+    assert "ok" in text and "never-switched" in text
+
+
+# -- flow stats ------------------------------------------------------------------------
+
+def _monitor_with_switchover():
+    monitor = DeliveryMonitor()
+    # Flow f0: old path arrivals until t=1.0, new path from t=1.3 (gap 0.3).
+    for index in range(11):
+        time = index * 0.1
+        monitor.record_sent("f0", time, index)
+        monitor.record_delivery(
+            "f0", DeliveryRecord("f0", time, time, index, ("H1", "S1", "S3", "H2"))
+        )
+    for index in range(11, 14):
+        time = 0.2 + index * 0.1
+        monitor.record_sent("f0", time, index)
+        monitor.record_delivery(
+            "f0", DeliveryRecord("f0", time, time, index, ("H1", "S1", "S2", "S3", "H2"))
+        )
+    return monitor
+
+
+def test_flow_update_stats_switchover_times():
+    monitor = _monitor_with_switchover()
+    stats = flow_update_stats(monitor, new_path_switch="S2", update_start=0.5,
+                              expected_interval=0.1)
+    assert len(stats) == 1
+    entry = stats[0]
+    assert entry.last_old_path == pytest.approx(0.5)
+    assert entry.first_new_path == pytest.approx(0.8)
+    assert entry.broken_time == pytest.approx(0.2, abs=1e-9)
+    assert entry.switched
+    assert entry.packets_dropped == 0
+
+
+def test_broken_time_distribution_percentages():
+    stats = [
+        FlowUpdateStats("a", 0.0, 0.1, broken_time=0.25, packets_sent=10, packets_received=9),
+        FlowUpdateStats("b", 0.0, 0.1, broken_time=0.05, packets_sent=10, packets_received=10),
+        FlowUpdateStats("c", 0.0, 0.1, broken_time=0.0, packets_sent=10, packets_received=10),
+        FlowUpdateStats("d", 0.0, 0.1, broken_time=0.31, packets_sent=10, packets_received=5),
+    ]
+    distribution = broken_time_distribution(stats, thresholds=(0.0, 0.1, 0.3))
+    assert distribution[0.0] == 100.0
+    assert distribution[0.1] == 50.0
+    assert distribution[0.3] == 25.0
+    assert total_dropped(stats) == 6
+    assert mean_update_time(stats) == pytest.approx(0.1)
+    assert update_completion_time(stats) == pytest.approx(0.1)
+
+
+def test_mean_update_time_empty_and_unswitched():
+    assert mean_update_time([]) is None
+    stats = [FlowUpdateStats("a", 0.0, None, 0.0, 1, 1)]
+    assert mean_update_time(stats) is None
+    assert update_completion_time(stats) is None
+
+
+# -- activation delays ------------------------------------------------------------------------
+
+def test_activation_delays_properties():
+    delays = ActivationDelays(
+        technique="x",
+        per_rule={1: (1.0, 0.9, -0.1), 2: (1.0, 1.2, 0.2), 3: (2.0, 2.5, 0.5)},
+    )
+    assert delays.negative_count == 1
+    assert not delays.never_negative
+    assert sorted(delays.delays) == [-0.1, 0.2, 0.5]
+    ranked = delays.ranked()
+    assert ranked[0] == (1, -0.1) and ranked[-1] == (3, 0.5)
+    summary = delays.summary()
+    assert summary.count == 3

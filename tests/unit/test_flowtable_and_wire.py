@@ -1,0 +1,212 @@
+"""Unit tests for the flow table semantics and the binary message codec."""
+
+import pytest
+
+from repro.openflow import (
+    BarrierReply,
+    BarrierRequest,
+    ErrorMessage,
+    FeaturesReply,
+    FlowEntry,
+    FlowMod,
+    FlowModCommand,
+    FlowTable,
+    Hello,
+    Match,
+    OFErrorCode,
+    OFErrorType,
+    OutputAction,
+    PacketIn,
+    PacketOut,
+    StatsReply,
+    StatsRequest,
+)
+from repro.openflow.actions import ControllerAction, DropAction, SetFieldAction
+from repro.openflow.flowtable import TableFullError, diff_tables
+from repro.openflow.wire import decode, encode, roundtrip
+from repro.packet.fields import HeaderField
+from repro.packet.packet import make_ip_packet
+
+
+def _flowmod(src, dst, port, priority=100, command=FlowModCommand.ADD):
+    return FlowMod(Match(ip_src=src, ip_dst=dst), [OutputAction(port)],
+                   priority=priority, command=command)
+
+
+# -- flow table ---------------------------------------------------------------
+
+def test_add_and_lookup_highest_priority_wins():
+    table = FlowTable()
+    table.apply_flowmod(FlowMod(Match(ip_src="10.0.0.1"), [OutputAction(1)], priority=10))
+    table.apply_flowmod(FlowMod(Match(), [OutputAction(2)], priority=1))
+    entry = table.lookup(make_ip_packet("10.0.0.1", "10.0.0.9"))
+    assert entry.actions[0].port == 1
+    fallback = table.lookup(make_ip_packet("10.0.0.2", "10.0.0.9"))
+    assert fallback.actions[0].port == 2
+
+
+def test_priority_tie_broken_by_installation_order():
+    table = FlowTable()
+    table.apply_flowmod(FlowMod(Match(ip_src="10.0.0.1"), [OutputAction(1)], priority=5), now=1.0)
+    table.apply_flowmod(FlowMod(Match(ip_dst="10.0.0.9"), [OutputAction(2)], priority=5), now=2.0)
+    entry = table.lookup(make_ip_packet("10.0.0.1", "10.0.0.9"))
+    assert entry.actions[0].port == 1
+
+
+def test_add_identical_match_same_priority_replaces():
+    table = FlowTable()
+    table.apply_flowmod(_flowmod("10.0.0.1", "10.0.0.2", 1))
+    table.apply_flowmod(_flowmod("10.0.0.1", "10.0.0.2", 7))
+    assert len(table) == 1
+    assert table.lookup(make_ip_packet("10.0.0.1", "10.0.0.2")).actions[0].port == 7
+
+
+def test_modify_changes_actions_of_matching_entries():
+    table = FlowTable()
+    table.apply_flowmod(_flowmod("10.0.0.1", "10.0.0.2", 1))
+    table.apply_flowmod(_flowmod("10.0.0.1", "10.0.0.2", 9, command=FlowModCommand.MODIFY_STRICT))
+    assert len(table) == 1
+    assert table.lookup(make_ip_packet("10.0.0.1", "10.0.0.2")).actions[0].port == 9
+
+
+def test_modify_without_match_behaves_like_add():
+    table = FlowTable()
+    table.apply_flowmod(_flowmod("10.0.0.1", "10.0.0.2", 3, command=FlowModCommand.MODIFY))
+    assert len(table) == 1
+
+
+def test_delete_strict_requires_same_priority():
+    table = FlowTable()
+    table.apply_flowmod(_flowmod("10.0.0.1", "10.0.0.2", 1, priority=100))
+    wrong_priority = FlowMod(Match(ip_src="10.0.0.1", ip_dst="10.0.0.2"), [],
+                             priority=50, command=FlowModCommand.DELETE_STRICT)
+    table.apply_flowmod(wrong_priority)
+    assert len(table) == 1
+    right = FlowMod(Match(ip_src="10.0.0.1", ip_dst="10.0.0.2"), [],
+                    priority=100, command=FlowModCommand.DELETE_STRICT)
+    table.apply_flowmod(right)
+    assert len(table) == 0
+
+
+def test_delete_wildcard_removes_covered_entries():
+    table = FlowTable()
+    table.apply_flowmod(_flowmod("10.0.0.1", "10.0.1.1", 1))
+    table.apply_flowmod(_flowmod("10.0.0.2", "10.0.1.2", 2))
+    delete_all = FlowMod(Match(), [], command=FlowModCommand.DELETE)
+    table.apply_flowmod(delete_all)
+    assert len(table) == 0
+
+
+def test_table_capacity_enforced():
+    table = FlowTable(capacity=1)
+    table.apply_flowmod(_flowmod("10.0.0.1", "10.0.1.1", 1))
+    with pytest.raises(TableFullError):
+        table.apply_flowmod(_flowmod("10.0.0.2", "10.0.1.2", 2))
+
+
+def test_install_order_mode_latest_wins():
+    table = FlowTable(mode="install_order")
+    table.apply_flowmod(FlowMod(Match(), [DropAction()], priority=60000), now=0.0)
+    table.apply_flowmod(FlowMod(Match(ip_src="10.0.0.1"), [OutputAction(4)], priority=1), now=1.0)
+    entry = table.lookup(make_ip_packet("10.0.0.1", "10.0.0.2"))
+    # Despite the drop-all having a huge priority, the later installation wins.
+    assert isinstance(entry.actions[0], OutputAction)
+
+
+def test_invalid_mode_rejected():
+    with pytest.raises(ValueError):
+        FlowTable(mode="bogus")
+
+
+def test_lookup_counters_updated():
+    table = FlowTable()
+    table.apply_flowmod(_flowmod("10.0.0.1", "10.0.0.2", 1))
+    packet = make_ip_packet("10.0.0.1", "10.0.0.2")
+    entry = table.lookup(packet)
+    entry.record_hit(packet)
+    assert entry.packet_count == 1
+    assert entry.byte_count == packet.total_size
+
+
+def test_diff_tables_reports_asymmetric_difference():
+    left, right = FlowTable(), FlowTable()
+    shared = _flowmod("10.0.0.1", "10.0.0.2", 1)
+    left.apply_flowmod(shared)
+    right.apply_flowmod(shared)
+    left.apply_flowmod(_flowmod("10.0.0.3", "10.0.0.4", 2))
+    only_left, only_right = diff_tables(left, right)
+    assert len(only_left) == 1
+    assert not only_right
+
+
+# -- wire codec ------------------------------------------------------------------
+
+@pytest.mark.parametrize("message", [
+    Hello(),
+    BarrierRequest(),
+    BarrierReply(xid=77),
+    FeaturesReply(42, [1, 2, 3], n_tables=2),
+    ErrorMessage(OFErrorType.FLOW_MOD_FAILED, int(OFErrorCode.ALL_TABLES_FULL), data=5),
+    ErrorMessage.rule_confirmation(1234),
+    StatsRequest(),
+    StatsReply(body=[{"flows": 3}]),
+])
+def test_roundtrip_simple_messages(message):
+    decoded = roundtrip(message)
+    assert type(decoded) is type(message)
+    assert decoded.xid == message.xid
+
+
+def test_roundtrip_flowmod_preserves_match_actions_priority():
+    flowmod = FlowMod(
+        Match(ip_src="10.0.0.1", ip_dst=("10.1.0.0", 16), tp_dst=80),
+        [SetFieldAction(HeaderField.IP_TOS, 9), OutputAction(7), ControllerAction()],
+        priority=123,
+        cookie=99,
+        command=FlowModCommand.MODIFY,
+    )
+    decoded = roundtrip(flowmod)
+    assert decoded.priority == 123
+    assert decoded.cookie == 99
+    assert decoded.command == FlowModCommand.MODIFY
+    assert decoded.match == flowmod.match
+    assert [type(action) for action in decoded.actions] == [
+        SetFieldAction, OutputAction, ControllerAction
+    ]
+    assert decoded.actions[1].port == 7
+
+
+def test_roundtrip_packet_out_and_in_preserve_packet_headers():
+    packet = make_ip_packet("10.0.0.1", "10.0.0.2", ip_tos=5, flow_id="flow-1", sequence=9)
+    decoded_out = roundtrip(PacketOut(packet, [OutputAction(2)], in_port=1))
+    assert decoded_out.packet.get(HeaderField.IP_TOS) == 5
+    assert decoded_out.packet.flow_id == "flow-1"
+    decoded_in = roundtrip(PacketIn(packet, in_port=4, datapath_id=11))
+    assert decoded_in.in_port == 4
+    assert decoded_in.datapath_id == 11
+    assert decoded_in.packet.get(HeaderField.IP_DST) == packet.get(HeaderField.IP_DST)
+
+
+def test_rum_confirmation_error_identified_after_roundtrip():
+    message = ErrorMessage.rule_confirmation(4321)
+    decoded = roundtrip(message)
+    assert decoded.is_rum_confirmation
+    assert decoded.data == 4321
+
+
+def test_decode_rejects_truncated_buffer():
+    from repro.openflow.wire import WireError
+
+    data = encode(Hello())
+    with pytest.raises(WireError):
+        decode(data[:4])
+    with pytest.raises(WireError):
+        decode(data + b"junk")
+
+
+def test_encoded_length_field_matches_buffer():
+    data = encode(FlowMod(Match(ip_src="10.0.0.1"), [OutputAction(1)]))
+    import struct
+
+    _version, _type, length, _xid = struct.unpack_from("!BBHI", data, 0)
+    assert length == len(data)
