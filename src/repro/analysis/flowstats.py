@@ -14,7 +14,7 @@ how long each flow went without delivering packets during the update
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.analysis.cdf import fraction_at_least
 from repro.net.monitor import DeliveryMonitor
@@ -48,20 +48,32 @@ class FlowUpdateStats:
 def flow_update_stats(
     monitor: DeliveryMonitor,
     *,
-    new_path_switch: str,
+    new_path_switch: Union[str, Mapping[str, str]],
     update_start: float,
     expected_interval: float,
 ) -> List[FlowUpdateStats]:
     """Compute :class:`FlowUpdateStats` for every flow the monitor observed.
 
     ``new_path_switch`` is the switch that distinguishes the new path from
-    the old one (S2 in the paper's triangle); ``expected_interval`` is the
-    nominal packet spacing used to turn delivery gaps into broken time.
+    the old one (S2 in the paper's triangle).  When flows migrate to
+    different paths — the scenario subsystem's ECMP rebalance, for example —
+    it may instead be a per-flow mapping ``{flow_id: switch}``; flows absent
+    from the mapping are not migrating and are skipped.  ``expected_interval``
+    is the nominal packet spacing used to turn delivery gaps into broken time.
     """
+    per_flow: Optional[Mapping[str, str]] = None
+    if not isinstance(new_path_switch, str):
+        per_flow = new_path_switch
     stats: List[FlowUpdateStats] = []
     for flow_id in monitor.flows():
-        old_records = monitor.arrivals_not_via(flow_id, new_path_switch)
-        new_records = monitor.arrivals_via(flow_id, new_path_switch)
+        if per_flow is None:
+            marker = new_path_switch
+        elif flow_id in per_flow:
+            marker = per_flow[flow_id]
+        else:
+            continue
+        old_records = monitor.arrivals_not_via(flow_id, marker)
+        new_records = monitor.arrivals_via(flow_id, marker)
         last_old = old_records[-1].received_at - update_start if old_records else None
         first_new = new_records[0].received_at - update_start if new_records else None
         stats.append(

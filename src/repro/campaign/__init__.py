@@ -1,0 +1,31 @@
+"""Campaign subsystem: parallel (scenario × technique × scale × seed) sweeps.
+
+The grid (:mod:`repro.campaign.grid`) expands a :class:`CampaignSpec` into
+hash-keyed cells, the runner (:mod:`repro.campaign.runner`) executes pending
+cells across worker processes with JSON-lines resume, and the report module
+aggregates results with the :mod:`repro.analysis.report` table machinery.
+``python -m repro.campaign`` is the command-line entry point.
+"""
+
+from repro.campaign.grid import CampaignCell, CampaignSpec, cell_from_config
+from repro.campaign.report import aggregate, render_report
+from repro.campaign.runner import (
+    CampaignOutcome,
+    CampaignRunner,
+    completed_cell_ids,
+    load_records,
+    run_cell,
+)
+
+__all__ = [
+    "CampaignCell",
+    "CampaignOutcome",
+    "CampaignRunner",
+    "CampaignSpec",
+    "aggregate",
+    "cell_from_config",
+    "completed_cell_ids",
+    "load_records",
+    "render_report",
+    "run_cell",
+]

@@ -1,0 +1,138 @@
+"""The campaign CLI: ``python -m repro.campaign``.
+
+Subcommands::
+
+    list                       show registered scenarios and topology families
+    run [axes...]              expand a grid, run pending cells in parallel
+    report [--out FILE]        aggregate a results file into a summary table
+
+``run`` appends to its results file and skips cells that already succeeded,
+so re-invoking the same command resumes an interrupted campaign.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.report import format_table
+from repro.campaign.grid import CampaignSpec
+from repro.campaign.report import render_report
+from repro.campaign.runner import CampaignRunner
+from repro.scenarios import SCENARIOS, TOPOLOGY_FAMILIES, available_scenarios
+
+DEFAULT_RESULTS = "campaign-results.jsonl"
+
+
+def _csv(value: str):
+    return [item for item in value.split(",") if item]
+
+
+def _int_csv(value: str):
+    return [int(item) for item in _csv(value)]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.campaign",
+        description="Scenario campaign runner (parallel parameter sweeps).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list scenarios and topology families")
+
+    run = commands.add_parser("run", help="run a (scenario x technique x "
+                                          "scale x seed) grid")
+    run.add_argument("--scenarios", type=_csv,
+                     default=["path-migration", "link-failure", "ecmp-rebalance"],
+                     help="comma-separated scenario names")
+    run.add_argument("--techniques", type=_csv, default=["barrier", "general"],
+                     help="comma-separated technique names")
+    run.add_argument("--scales", type=_int_csv, default=[1],
+                     help="comma-separated integer scales")
+    run.add_argument("--seeds", type=_int_csv, default=[1, 2],
+                     help="comma-separated seeds")
+    run.add_argument("--topology", default="auto",
+                     help=f"topology family ({', '.join(TOPOLOGY_FAMILIES)}, "
+                          "or 'auto' for each scenario's default)")
+    run.add_argument("--flows", type=int, default=8, help="flows per cell")
+    run.add_argument("--workers", type=int, default=None,
+                     help="worker processes (default: min(cpu, 8))")
+    run.add_argument("--out", type=Path, default=Path(DEFAULT_RESULTS),
+                     help="JSON-lines results file (appended; enables resume)")
+    run.add_argument("--fresh", action="store_true",
+                     help="delete an existing results file before running")
+    run.add_argument("--quick", action="store_true",
+                     help="ignore the axes and run one tiny smoke cell")
+    run.add_argument("--no-report", action="store_true",
+                     help="skip the aggregated report after the run")
+
+    report = commands.add_parser("report", help="aggregate a results file")
+    report.add_argument("--out", type=Path, default=Path(DEFAULT_RESULTS),
+                        help="JSON-lines results file to aggregate")
+    return parser
+
+
+def cmd_list() -> int:
+    rows = [
+        [name, SCENARIOS[name].default_topology, SCENARIOS[name].description]
+        for name in available_scenarios()
+    ]
+    print(format_table(["scenario", "default topology", "description"], rows,
+                       title="Registered scenarios"))
+    print()
+    print("topology families:", ", ".join(TOPOLOGY_FAMILIES))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    if args.quick:
+        spec = CampaignSpec.quick()
+    else:
+        spec = CampaignSpec(
+            scenarios=args.scenarios,
+            techniques=args.techniques,
+            scales=args.scales,
+            seeds=args.seeds,
+            topology=args.topology,
+            flow_count=args.flows,
+        )
+    spec.validate()
+    if args.fresh and args.out.exists():
+        args.out.unlink()
+    runner = CampaignRunner(spec, args.out, max_workers=args.workers)
+    cells = spec.cells()
+    print(f"campaign: {len(cells)} cells "
+          f"({len(spec.scenarios)} scenarios x {len(spec.techniques)} techniques "
+          f"x {len(spec.scales)} scales x {len(spec.seeds)} seeds), "
+          f"{runner.max_workers} workers -> {args.out}")
+    outcome = runner.run(progress=print)
+    print(f"done: ran {outcome.ran}, skipped {outcome.skipped} "
+          f"(already complete), failed {outcome.failed}")
+    if not args.no_report:
+        print()
+        print(render_report(args.out))
+    return 1 if outcome.failed else 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    print(render_report(args.out))
+    return 0
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return cmd_list()
+        if args.command == "run":
+            return cmd_run(args)
+        return cmd_report(args)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

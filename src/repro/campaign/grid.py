@@ -1,0 +1,139 @@
+"""Parameter grids for scenario campaigns.
+
+A :class:`CampaignSpec` names the axes of a sweep — scenarios, techniques,
+topology scales and seeds — and expands into the cross product of
+:class:`CampaignCell` instances.  Every cell derives a stable ``cell_id``
+from the SHA-1 of its canonical JSON configuration; the campaign runner
+keys result records by that id, which is what makes interrupted campaigns
+resumable without re-running finished cells.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.config import ALL_TECHNIQUES
+from repro.experiments.common import NO_WAIT
+from repro.scenarios.base import ScenarioParams, available_scenarios
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One point of the (scenario × technique × scale × seed) grid."""
+
+    scenario: str
+    technique: str
+    scale: int = 1
+    seed: int = 1
+    topology: str = "auto"
+    flow_count: int = 8
+    rate_pps: float = 250.0
+    max_update_duration: float = 15.0
+
+    def config(self) -> Dict[str, object]:
+        """The canonical, JSON-able configuration of this cell."""
+        return {
+            "scenario": self.scenario,
+            "technique": self.technique,
+            "scale": self.scale,
+            "seed": self.seed,
+            "topology": self.topology,
+            "flow_count": self.flow_count,
+            "rate_pps": self.rate_pps,
+            "max_update_duration": self.max_update_duration,
+        }
+
+    @property
+    def cell_id(self) -> str:
+        """Stable hash of the configuration (used for resume bookkeeping)."""
+        canonical = json.dumps(self.config(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha1(canonical.encode("utf-8")).hexdigest()[:16]
+
+    def scenario_params(self) -> ScenarioParams:
+        """The :class:`ScenarioParams` this cell runs with."""
+        return ScenarioParams(
+            topology=self.topology,
+            scale=self.scale,
+            seed=self.seed,
+            flow_count=self.flow_count,
+            rate_pps=self.rate_pps,
+            max_update_duration=self.max_update_duration,
+        )
+
+    def describe(self) -> str:
+        """Short human-readable label for progress output."""
+        return (f"{self.scenario}/{self.technique} "
+                f"topo={self.topology} scale={self.scale} seed={self.seed}")
+
+
+@dataclass
+class CampaignSpec:
+    """The axes of a campaign grid."""
+
+    scenarios: List[str] = field(
+        default_factory=lambda: ["path-migration", "link-failure", "ecmp-rebalance"]
+    )
+    techniques: List[str] = field(default_factory=lambda: ["barrier", "general"])
+    scales: List[int] = field(default_factory=lambda: [1])
+    seeds: List[int] = field(default_factory=lambda: [1, 2])
+    topology: str = "auto"
+    flow_count: int = 8
+    rate_pps: float = 250.0
+    max_update_duration: float = 15.0
+
+    def validate(self) -> None:
+        """Reject empty axes and unknown scenario/technique names early."""
+        for axis_name in ("scenarios", "techniques", "scales", "seeds"):
+            if not getattr(self, axis_name):
+                raise ValueError(f"campaign axis {axis_name!r} is empty")
+        known = set(available_scenarios())
+        unknown = [name for name in self.scenarios if name not in known]
+        if unknown:
+            raise ValueError(
+                f"unknown scenario(s) {unknown}; available: {sorted(known)}"
+            )
+        valid_techniques = set(ALL_TECHNIQUES) | {NO_WAIT}
+        bad = [name for name in self.techniques if name not in valid_techniques]
+        if bad:
+            raise ValueError(
+                f"unknown technique(s) {bad}; available: {sorted(valid_techniques)}"
+            )
+
+    def cells(self) -> List[CampaignCell]:
+        """The full cross product, in deterministic order."""
+        self.validate()
+        return [
+            CampaignCell(
+                scenario=scenario,
+                technique=technique,
+                scale=scale,
+                seed=seed,
+                topology=self.topology,
+                flow_count=self.flow_count,
+                rate_pps=self.rate_pps,
+                max_update_duration=self.max_update_duration,
+            )
+            for scenario, technique, scale, seed in itertools.product(
+                self.scenarios, self.techniques, self.scales, self.seeds
+            )
+        ]
+
+    @classmethod
+    def quick(cls) -> "CampaignSpec":
+        """A single tiny cell: the CI smoke configuration."""
+        return cls(
+            scenarios=["path-migration"],
+            techniques=["general"],
+            scales=[1],
+            seeds=[1],
+            flow_count=2,
+        )
+
+
+def cell_from_config(config: Dict[str, object]) -> CampaignCell:
+    """Rebuild a cell from a result record's stored configuration."""
+    return CampaignCell(**config)

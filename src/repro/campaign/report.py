@@ -1,0 +1,97 @@
+"""Aggregation of campaign result files.
+
+Feeds the JSON-lines records produced by the runner into the existing
+plain-text reporting machinery of :mod:`repro.analysis.report`: one
+per-(scenario, technique) summary table over all cells, plus a violation
+table for the scenarios that define safety metrics.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.report import format_table
+from repro.campaign.runner import load_records
+
+#: Scenario metric keys that count safety violations (summed per group).
+VIOLATION_METRICS = (
+    "http_bypassing_firewall",
+    "residual_drained_deliveries",
+)
+
+
+def _mean(values: List[float]) -> Optional[float]:
+    return sum(values) / len(values) if values else None
+
+
+def aggregate(records: List[Dict[str, object]]) -> List[List[object]]:
+    """Per-(scenario, technique) rows over every successful record."""
+    groups: Dict[Tuple[str, str], List[Dict[str, object]]] = defaultdict(list)
+    for record in records:
+        if record.get("status") != "ok":
+            continue
+        groups[(record["scenario"], record["technique"])].append(record)
+
+    rows: List[List[object]] = []
+    for (scenario, technique), group in sorted(groups.items()):
+        durations = [r["update_duration"] for r in group
+                     if r.get("update_duration") is not None]
+        update_times = [r["mean_update_time"] for r in group
+                        if r.get("mean_update_time") is not None]
+        dropped = [r.get("dropped_packets", 0) for r in group]
+        violations = 0
+        for record in group:
+            metrics = record.get("metrics") or {}
+            violations += sum(int(metrics.get(key, 0)) for key in VIOLATION_METRICS)
+        rows.append([
+            scenario,
+            technique,
+            len(group),
+            _mean(durations) if durations else "-",
+            _mean(update_times) if update_times else "-",
+            sum(dropped),
+            violations,
+        ])
+    return rows
+
+
+def failures(records: List[Dict[str, object]]) -> List[List[object]]:
+    """One row per non-ok record."""
+    rows = []
+    for record in records:
+        if record.get("status") == "ok":
+            continue
+        config = record.get("config") or {}
+        rows.append([
+            config.get("scenario", "?"),
+            config.get("technique", "?"),
+            config.get("seed", "?"),
+            record.get("status", "?"),
+            str(record.get("error", ""))[:60],
+        ])
+    return rows
+
+
+def render_report(results_path: Path) -> str:
+    """The campaign's aggregated plain-text report."""
+    records = load_records(results_path)
+    if not records:
+        return f"no campaign records in {results_path}"
+    sections = [
+        format_table(
+            ["scenario", "technique", "cells", "mean duration [s]",
+             "mean update time [s]", "dropped", "violations"],
+            aggregate(records),
+            title=f"Campaign report — {results_path} ({len(records)} records)",
+        )
+    ]
+    failed = failures(records)
+    if failed:
+        sections.append(format_table(
+            ["scenario", "technique", "seed", "status", "error"],
+            failed,
+            title="Failed cells",
+        ))
+    return "\n\n".join(sections)

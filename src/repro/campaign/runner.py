@@ -1,0 +1,198 @@
+"""The parallel campaign runner.
+
+Fans the cells of a :class:`~repro.campaign.grid.CampaignSpec` out across
+worker processes (each simulation run is single-threaded pure Python, so
+process-level parallelism is what buys wall-clock time) and appends one
+JSON line per finished cell to the results file.  Records are keyed by the
+cell's config hash: restarting the same campaign against the same file
+skips every cell that already has an ``ok`` record, so an interrupted — or
+killed — campaign resumes exactly where it left off.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.campaign.grid import CampaignCell, CampaignSpec
+from repro.scenarios.engine import run_scenario
+
+
+def run_cell(cell: CampaignCell) -> Dict[str, object]:
+    """Run one grid cell; the unit of work shipped to worker processes.
+
+    Never raises: failures come back as ``status: "error"`` records so one
+    broken cell cannot take down the campaign (and is retried on resume).
+    """
+    record: Dict[str, object] = {
+        "cell_id": cell.cell_id,
+        "config": cell.config(),
+        "worker_pid": os.getpid(),
+    }
+    try:
+        result = run_scenario(cell.scenario, cell.technique,
+                              cell.scenario_params())
+        record.update(result.as_dict())
+        record["status"] = "ok" if result.completed else "incomplete"
+    except Exception as error:  # noqa: BLE001 - isolate worker failures
+        record["status"] = "error"
+        record["error"] = f"{type(error).__name__}: {error}"
+        record["traceback"] = traceback.format_exc()
+    return record
+
+
+def load_records(results_path: Path) -> List[Dict[str, object]]:
+    """All parseable records of a JSON-lines results file (may be empty)."""
+    records = []
+    if not results_path.exists():
+        return records
+    with results_path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                # A half-written trailing line from a killed run; skip it —
+                # its cell has no ok-record and will simply be re-run.
+                continue
+    return records
+
+
+def encode_record(record: Dict[str, object],
+                  cell: CampaignCell) -> "tuple[str, Dict[str, object]]":
+    """JSON-encode a cell record, downgrading un-encodable ones to errors.
+
+    A scenario returning metrics json cannot serialize must cost only its
+    own cell — not abort the campaign loop with other futures in flight.
+    """
+    try:
+        return json.dumps(record), record
+    except TypeError as error:
+        record = {
+            "cell_id": cell.cell_id,
+            "config": cell.config(),
+            "status": "error",
+            "error": f"unserializable result: {error}",
+        }
+        return json.dumps(record), record
+
+
+def _terminate_partial_line(results_path: Path) -> None:
+    """Newline-terminate a file whose last write was cut off by a kill.
+
+    Without this, the first record appended on resume would merge into the
+    dangling partial line and be lost to ``load_records``.
+    """
+    if not results_path.exists() or results_path.stat().st_size == 0:
+        return
+    with results_path.open("rb+") as handle:
+        handle.seek(-1, os.SEEK_END)
+        if handle.read(1) != b"\n":
+            handle.write(b"\n")
+
+
+#: Record statuses that resume treats as final.  ``incomplete`` runs are
+#: deterministic (seeded simulation hit its deadline) so re-running them can
+#: only reproduce the same record; ``error`` cells are retried because they
+#: may be environmental (a killed worker, a transient import failure).
+FINAL_STATUSES = ("ok", "incomplete")
+
+
+def completed_cell_ids(results_path: Path) -> Set[str]:
+    """Cell ids with a final record in ``results_path`` (skipped on resume)."""
+    return {
+        record["cell_id"]
+        for record in load_records(results_path)
+        if record.get("status") in FINAL_STATUSES and "cell_id" in record
+    }
+
+
+@dataclass
+class CampaignOutcome:
+    """What one :meth:`CampaignRunner.run` invocation did."""
+
+    total_cells: int
+    skipped: int
+    ran: int
+    failed: int
+    results_path: Path
+    records: List[Dict[str, object]] = field(default_factory=list)
+
+
+class CampaignRunner:
+    """Expands a spec, skips finished cells, and fans the rest out."""
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        results_path: Path,
+        max_workers: Optional[int] = None,
+    ) -> None:
+        self.spec = spec
+        self.results_path = Path(results_path)
+        self.max_workers = max_workers or min(os.cpu_count() or 2, 8)
+
+    def pending_cells(self) -> List[CampaignCell]:
+        """Grid cells without a successful record yet."""
+        done = completed_cell_ids(self.results_path)
+        return [cell for cell in self.spec.cells() if cell.cell_id not in done]
+
+    def run(self, progress: Optional[Callable[[str], None]] = None) -> CampaignOutcome:
+        """Run every pending cell; append one JSON line per finished cell.
+
+        Lines are flushed as soon as each cell finishes, so a kill at any
+        point loses at most in-flight cells — never completed ones.
+        """
+        say = progress or (lambda _message: None)
+        cells = self.spec.cells()
+        pending = self.pending_cells()
+        skipped = len(cells) - len(pending)
+        if skipped:
+            say(f"resuming: {skipped}/{len(cells)} cells already done")
+        ran = failed = 0
+        records: List[Dict[str, object]] = []
+        if pending:
+            self.results_path.parent.mkdir(parents=True, exist_ok=True)
+            _terminate_partial_line(self.results_path)
+            with self.results_path.open("a", encoding="utf-8") as sink, \
+                    ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+                futures = {pool.submit(run_cell, cell): cell for cell in pending}
+                remaining = set(futures)
+                while remaining:
+                    finished, remaining = wait(remaining,
+                                               return_when=FIRST_COMPLETED)
+                    for future in finished:
+                        cell = futures[future]
+                        try:
+                            record = future.result()
+                        except Exception as error:  # pool/pickling failure
+                            record = {
+                                "cell_id": cell.cell_id,
+                                "config": cell.config(),
+                                "status": "error",
+                                "error": f"{type(error).__name__}: {error}",
+                            }
+                        line, record = encode_record(record, cell)
+                        sink.write(line + "\n")
+                        sink.flush()
+                        records.append(record)
+                        ran += 1
+                        if record.get("status") != "ok":
+                            failed += 1
+                        say(f"[{ran}/{len(pending)}] {cell.describe()} "
+                            f"-> {record.get('status')}")
+        return CampaignOutcome(
+            total_cells=len(cells),
+            skipped=skipped,
+            ran=ran,
+            failed=failed,
+            results_path=self.results_path,
+            records=records,
+        )

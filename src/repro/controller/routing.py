@@ -10,7 +10,7 @@ pre-experiment setup, where the installation process itself is not measured).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import networkx as nx
 
@@ -83,6 +83,60 @@ def shortest_path(network: Network, source_host: str, destination_host: str,
         if node in graph:
             graph.remove_node(node)
     return nx.shortest_path(graph, source_host, destination_host)
+
+
+def k_shortest_paths(graph: nx.Graph, source: str, destination: str,
+                     k: int) -> List[List[str]]:
+    """Up to ``k`` loop-free paths between two nodes, shortest first.
+
+    The scenario generators use this to pick migration targets on arbitrary
+    topologies: the first path is the pre-update route, and the first later
+    path that differs is a natural post-update route (both necessarily share
+    their first hop when the source is a degree-one host).
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    paths: List[List[str]] = []
+    for path in nx.shortest_simple_paths(graph, source, destination):
+        paths.append(list(path))
+        if len(paths) == k:
+            break
+    return paths
+
+
+def first_distinct_switch(old_path: Sequence[str], new_path: Sequence[str],
+                          switches) -> Optional[str]:
+    """The first switch of ``new_path`` that ``old_path`` does not visit.
+
+    ``switches`` is the collection of switch names (anything supporting
+    ``in``).  This is the switch whose traversal lets the delivery monitor
+    tell the two routes apart; ``None`` when the new path adds no switch.
+    """
+    old_nodes = set(old_path)
+    for node in new_path:
+        if node in switches and node not in old_nodes:
+            return node
+    return None
+
+
+def shortest_path_avoiding_edge(
+    graph: nx.Graph,
+    source: str,
+    destination: str,
+    edge: Tuple[str, str],
+) -> Optional[List[str]]:
+    """Shortest path that does not traverse ``edge``, or ``None`` if cut off.
+
+    Used by the link-failure scenario: the drained/failed link is removed and
+    traffic is rerouted over whatever connectivity remains.
+    """
+    pruned = graph.copy()
+    if pruned.has_edge(*edge):
+        pruned.remove_edge(*edge)
+    try:
+        return list(nx.shortest_path(pruned, source, destination))
+    except nx.NetworkXNoPath:
+        return None
 
 
 def install_path_rules(

@@ -21,19 +21,25 @@ Module                     Paper result
 """
 
 from repro.experiments.common import (
+    ControlStack,
     EndToEndParams,
     EndToEndResult,
+    MigrationSpec,
     RuleInstallParams,
     RuleInstallResult,
+    build_control_stack,
     run_path_migration,
     run_rule_install,
 )
 
 __all__ = [
+    "ControlStack",
     "EndToEndParams",
     "EndToEndResult",
+    "MigrationSpec",
     "RuleInstallParams",
     "RuleInstallResult",
+    "build_control_stack",
     "run_path_migration",
     "run_rule_install",
 ]

@@ -3,15 +3,22 @@
 Two engines cover the whole evaluation:
 
 * :func:`run_path_migration` — the end-to-end experiment of Section 5.1
-  (Figures 1b, 6 and 7, and the barrier-layer overhead runs): 300 flows on
-  the triangle topology are migrated from S1-S3 to S1-S2-S3 with a consistent
-  update, while constant-rate traffic measures packet loss and switchover
-  times at the destination.
+  (Figures 1b, 6 and 7, and the barrier-layer overhead runs): flows are
+  migrated from an old path to a new path with a consistent update, while
+  constant-rate traffic measures packet loss and switchover times at the
+  destination.  The topology and paths come from a :class:`MigrationSpec`;
+  the default is the paper's triangle (S1-S3 → S1-S2-S3), but any topology —
+  including the generated fat-trees and leaf-spines of
+  :mod:`repro.scenarios.generators` — can be migrated the same way.
 * :func:`run_rule_install` — the low-level benchmark of Section 5.2
   (Figure 8 and Table 1): a controller performs R rule modifications on the
   hardware switch with at most K unconfirmed at any time, and the harness
   correlates controller-visible acknowledgment times with data-plane
   activation times.
+
+The module also provides :func:`build_control_stack`, the
+RUM-proxy/controller wiring shared between these engines and the scenario
+engine of :mod:`repro.scenarios.engine`.
 """
 
 from __future__ import annotations
@@ -30,14 +37,18 @@ from repro.analysis.flowstats import (
 )
 from repro.controller.base import AckMode, Controller
 from repro.controller.consistent import ConsistentPathMigration
-from repro.controller.routing import install_path_rules, path_flowmods
+from repro.controller.routing import (
+    first_distinct_switch,
+    install_path_rules,
+    path_flowmods,
+)
 from repro.controller.update_plan import PlanExecutor, UpdatePlan
 from repro.core.barrier_layer import ReliableBarrierLayer
 from repro.core.config import RumConfig, config_for_technique
 from repro.core.proxy import chain_proxies
 from repro.core.rum import RumLayer
 from repro.net.network import Network
-from repro.net.topology import triangle_topology
+from repro.net.topology import Topology, triangle_topology
 from repro.net.traffic import TrafficGenerator, flows_between
 from repro.openflow.actions import DropAction, OutputAction
 from repro.openflow.match import Match
@@ -63,8 +74,114 @@ def full_scale() -> bool:
 
 
 # ---------------------------------------------------------------------------
+# Control-stack wiring shared by all engines
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ControlStack:
+    """The RUM proxy chain and controller attached to a network's switches."""
+
+    controller: Controller
+    rum: Optional[RumLayer] = None
+    barrier_layer: Optional[ReliableBarrierLayer] = None
+
+    def prepare(self) -> None:
+        """Pre-start setup (probe catch rules etc.); call before the network starts."""
+        if self.rum is not None:
+            self.rum.prepare()
+
+    def start(self) -> None:
+        """Start the proxy processes; call after the network has started."""
+        if self.rum is not None:
+            self.rum.start()
+
+
+def build_control_stack(
+    sim: Simulator,
+    network: Network,
+    technique: str,
+    *,
+    rum_config: Optional[RumConfig] = None,
+    with_barrier_layer: bool = False,
+    buffer_after_barrier: bool = False,
+) -> ControlStack:
+    """Wire a controller (and, unless ``technique`` is :data:`NO_WAIT`, a RUM
+    proxy chain) onto every switch of ``network``.
+
+    Returns the stack with the controller already connected to all switches;
+    the caller is responsible for calling :meth:`ControlStack.prepare` before
+    and :meth:`ControlStack.start` after ``network.start()``.
+    """
+    rum: Optional[RumLayer] = None
+    barrier_layer: Optional[ReliableBarrierLayer] = None
+    if technique != NO_WAIT:
+        rum = RumLayer(sim, rum_config or config_for_technique(technique))
+        layers = [rum]
+        if with_barrier_layer:
+            barrier_layer = ReliableBarrierLayer(
+                sim, buffer_after_barrier=buffer_after_barrier
+            )
+            layers.append(barrier_layer)
+        endpoints = chain_proxies(network, layers)
+        ack_mode = AckMode.BARRIER if with_barrier_layer else AckMode.RUM_CONFIRMATION
+    else:
+        endpoints = {name: network.controller_endpoint(name)
+                     for name in network.switch_names()}
+        ack_mode = AckMode.NONE
+    controller = Controller(sim, ack_mode=ack_mode)
+    for switch_name, endpoint in endpoints.items():
+        controller.connect_switch(switch_name, endpoint)
+    return ControlStack(controller=controller, rum=rum, barrier_layer=barrier_layer)
+
+
+# ---------------------------------------------------------------------------
 # End-to-end path migration (Section 5.1)
 # ---------------------------------------------------------------------------
+
+@dataclass
+class MigrationSpec:
+    """What to migrate: a topology plus the old and new host-to-host paths.
+
+    ``run_path_migration`` historically hard-wired the paper's triangle; the
+    spec makes the same engine run on any topology (the scenario subsystem
+    feeds it generated fat-trees, leaf-spines, rings and Waxman graphs).
+    """
+
+    topology: Topology
+    old_path: List[str]
+    new_path: List[str]
+    source_host: str = "H1"
+    dest_host: str = "H2"
+    #: The switch whose traversal marks a delivery as "new path" (S2 in the
+    #: triangle).  When ``None`` it is inferred as the first switch on the
+    #: new path that the old path does not visit.
+    new_path_switch: Optional[str] = None
+
+    def resolved_new_path_switch(self) -> str:
+        """The switch distinguishing new-path deliveries from old-path ones."""
+        if self.new_path_switch is not None:
+            return self.new_path_switch
+        marker = first_distinct_switch(self.old_path, self.new_path,
+                                       self.topology.switches)
+        if marker is None:
+            raise ValueError(
+                f"new path {self.new_path!r} visits no switch the old path "
+                "avoids; set new_path_switch explicitly"
+            )
+        return marker
+
+    @classmethod
+    def triangle(cls, hardware_profile: Optional[SwitchProfile] = None) -> "MigrationSpec":
+        """The paper's Figure 1a migration: S1-S3 → S1-S2-S3."""
+        return cls(
+            topology=triangle_topology(
+                hardware_profile=hardware_profile or hp5406zl_profile()
+            ),
+            old_path=["H1", "S1", "S3", "H2"],
+            new_path=["H1", "S1", "S2", "S3", "H2"],
+            new_path_switch="S2",
+        )
+
 
 @dataclass
 class EndToEndParams:
@@ -155,73 +272,59 @@ def _rum_config_for(technique: str, params: EndToEndParams) -> RumConfig:
     return config_for_technique(technique, **overrides)
 
 
-def run_path_migration(technique: str, params: Optional[EndToEndParams] = None) -> EndToEndResult:
+def run_path_migration(
+    technique: str,
+    params: Optional[EndToEndParams] = None,
+    spec: Optional[MigrationSpec] = None,
+) -> EndToEndResult:
     """Run the consistent path-migration experiment with one technique.
 
     ``technique`` is one of RUM's technique names, or :data:`NO_WAIT` for the
-    no-consistency lower bound of Figure 7.
+    no-consistency lower bound of Figure 7.  ``spec`` selects the topology
+    and the old/new paths; the default is the paper's triangle migration.
     """
     params = params or EndToEndParams.default()
+    spec = spec or MigrationSpec.triangle(hardware_profile=params.hardware_profile)
+    new_path_switch = spec.resolved_new_path_switch()
     sim = Simulator()
     rng = SeededRandom(params.seed)
-    network = Network(
-        sim,
-        triangle_topology(hardware_profile=params.hardware_profile or hp5406zl_profile()),
-        seed=params.seed,
-    )
+    network = Network(sim, spec.topology, seed=params.seed)
 
     # Flows and their pre-existing (old path) forwarding state ----------------
-    h1, h2 = network.host("H1"), network.host("H2")
-    flows = flows_between(h1, h2, params.flow_count, rate_pps=params.rate_pps)
-    old_path = ["H1", "S1", "S3", "H2"]
-    new_path = ["H1", "S1", "S2", "S3", "H2"]
+    source = network.host(spec.source_host)
+    destination = network.host(spec.dest_host)
+    flows = flows_between(source, destination, params.flow_count,
+                          rate_pps=params.rate_pps)
     for flow in flows:
-        install_path_rules(network, path_flowmods(network, flow, old_path))
+        install_path_rules(network, path_flowmods(network, flow, spec.old_path))
 
-    # RUM layer (unless running the no-wait lower bound) ------------------------
-    rum: Optional[RumLayer] = None
-    barrier_layer: Optional[ReliableBarrierLayer] = None
-    if technique != NO_WAIT:
-        rum = RumLayer(sim, _rum_config_for(technique, params))
-        layers = [rum]
-        if params.with_barrier_layer:
-            barrier_layer = ReliableBarrierLayer(
-                sim, buffer_after_barrier=params.buffer_after_barrier
-            )
-            layers.append(barrier_layer)
-        endpoints = chain_proxies(network, layers)
-    else:
-        endpoints = {name: network.controller_endpoint(name)
-                     for name in network.switch_names()}
+    # RUM layer (unless running the no-wait lower bound) and controller --------
+    stack = build_control_stack(
+        sim,
+        network,
+        technique,
+        rum_config=(_rum_config_for(technique, params)
+                    if technique != NO_WAIT else None),
+        with_barrier_layer=params.with_barrier_layer,
+        buffer_after_barrier=params.buffer_after_barrier,
+    )
+    rum = stack.rum
 
-    # Controller -------------------------------------------------------------------
-    if technique == NO_WAIT:
-        ack_mode = AckMode.NONE
-    elif params.with_barrier_layer:
-        ack_mode = AckMode.BARRIER
-    else:
-        ack_mode = AckMode.RUM_CONFIRMATION
-    controller = Controller(sim, ack_mode=ack_mode)
-    for switch_name, endpoint in endpoints.items():
-        controller.connect_switch(switch_name, endpoint)
-
-    if rum is not None:
-        rum.prepare()
+    stack.prepare()
     network.start()
-    if rum is not None:
-        rum.start()
+    stack.start()
 
     # Traffic ---------------------------------------------------------------------
     traffic = TrafficGenerator(sim, flows, rng=rng.fork("traffic"))
     traffic.start()
 
     # Update plan --------------------------------------------------------------------
-    migration = ConsistentPathMigration(network, flows, old_path, new_path)
+    migration = ConsistentPathMigration(network, flows, spec.old_path, spec.new_path)
     plan = migration.build_plan()
     max_unconfirmed = params.max_unconfirmed or max(2 * params.flow_count, 16)
     executor = PlanExecutor(
         sim,
-        controller,
+        stack.controller,
         plan,
         max_unconfirmed=max_unconfirmed,
         barrier_every=params.barrier_every,
@@ -241,7 +344,7 @@ def run_path_migration(technique: str, params: Optional[EndToEndParams] = None) 
 
     stats = flow_update_stats(
         network.monitor,
-        new_path_switch="S2",
+        new_path_switch=new_path_switch,
         update_start=params.warmup,
         expected_interval=1.0 / params.rate_pps,
     )
@@ -249,10 +352,10 @@ def run_path_migration(technique: str, params: Optional[EndToEndParams] = None) 
     activation: Optional[ActivationDelays] = None
     if rum is not None:
         new_path_xids = [op.flowmod.xid for op in plan.by_role("new-path")
-                         if op.switch == "S2"]
+                         if op.switch == new_path_switch]
         activation = activation_delays(
-            network.switch("S2"),
-            rum.confirmation_times("S2"),
+            network.switch(new_path_switch),
+            rum.confirmation_times(new_path_switch),
             technique=technique,
             xids=new_path_xids,
         )
@@ -268,7 +371,7 @@ def run_path_migration(technique: str, params: Optional[EndToEndParams] = None) 
         completion_time=update_completion_time(stats),
         activation=activation,
         rum_description=rum.describe() if rum is not None else NO_WAIT,
-        barrier_layer_held=barrier_layer.barriers_held if barrier_layer else 0,
+        barrier_layer_held=stack.barrier_layer.barriers_held if stack.barrier_layer else 0,
     )
 
 
@@ -363,19 +466,19 @@ def run_rule_install(technique: str, params: Optional[RuleInstallParams] = None)
     if params.with_drop_all:
         target_switch.install_rule_directly(FlowMod(Match(), [DropAction()], priority=1))
 
-    rum = RumLayer(sim, config_for_technique(technique, **params.rum_overrides))
-    endpoints = chain_proxies(network, [rum])
-    controller = Controller(sim, ack_mode=AckMode.RUM_CONFIRMATION)
-    for switch_name, endpoint in endpoints.items():
-        controller.connect_switch(switch_name, endpoint)
+    stack = build_control_stack(
+        sim, network, technique,
+        rum_config=config_for_technique(technique, **params.rum_overrides),
+    )
+    rum = stack.rum
 
-    rum.prepare()
+    stack.prepare()
     network.start()
-    rum.start()
+    stack.start()
 
     plan = _install_benchmark_plan(network, params)
     executor = PlanExecutor(
-        sim, controller, plan, max_unconfirmed=params.max_unconfirmed,
+        sim, stack.controller, plan, max_unconfirmed=params.max_unconfirmed,
     )
     executor.start()
     deadline = params.max_duration

@@ -82,6 +82,8 @@ class Topology:
         self.switches: Dict[str, SwitchSpec] = {}
         self.hosts: Dict[str, HostSpec] = {}
         self.links: List[LinkSpec] = []
+        #: Lazily-built ``node -> neighbours`` map; invalidated on mutation.
+        self._adjacency: Optional[Dict[str, List[str]]] = None
 
     # -- construction ----------------------------------------------------------
     def add_switch(self, name: str, kind: str = "software",
@@ -109,6 +111,7 @@ class Topology:
             raise ValueError("self-links are not supported")
         self.links.append(LinkSpec(node_a, node_b, latency=latency,
                                    bandwidth_bps=bandwidth_bps))
+        self._adjacency = None
         return self
 
     # -- queries --------------------------------------------------------------------
@@ -139,14 +142,19 @@ class Topology:
         return graph
 
     def neighbors_of(self, name: str) -> List[str]:
-        """Names of the nodes directly linked to ``name``."""
-        neighbors = []
-        for link in self.links:
-            if link.node_a == name:
-                neighbors.append(link.node_b)
-            elif link.node_b == name:
-                neighbors.append(link.node_a)
-        return neighbors
+        """Names of the nodes directly linked to ``name`` (link insertion order).
+
+        Backed by an adjacency map built once per topology mutation, so
+        repeated per-node queries — validation, routing, probe colouring — do
+        not rescan the whole link list on fat-tree-sized topologies.
+        """
+        if self._adjacency is None:
+            adjacency: Dict[str, List[str]] = {node: [] for node in self.node_names()}
+            for link in self.links:
+                adjacency[link.node_a].append(link.node_b)
+                adjacency[link.node_b].append(link.node_a)
+            self._adjacency = adjacency
+        return list(self._adjacency.get(name, []))
 
     def validate(self) -> None:
         """Check the topology is connected and every host has exactly one link."""

@@ -1,0 +1,152 @@
+"""The scenario protocol and the string-keyed scenario registry.
+
+A *scenario* packages one network-update workload: it builds a topology,
+installs the forwarding state that exists before the measured update,
+produces the flows that traffic the network and the
+:class:`~repro.controller.update_plan.UpdatePlan` the controller executes,
+and finally extracts per-scenario metrics (policy violations, packets on a
+drained link, ...) from the finished run.  The generic engine in
+:mod:`repro.scenarios.engine` runs any scenario against any acknowledgment
+technique, which is what lets the campaign runner sweep
+(scenario × technique × scale × seed) grids over generated topologies.
+
+New scenarios register themselves with :func:`register` and become available
+to the campaign CLI by name — workloads are data, not code forks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, replace
+from typing import Dict, List, Optional, Type
+
+from repro.controller.update_plan import UpdatePlan
+from repro.net.network import Network
+from repro.net.topology import Topology
+from repro.net.traffic import FlowSpec
+from repro.scenarios.generators import DEFAULT_HARDWARE_FRACTION, build_topology
+
+
+@dataclass
+class ScenarioParams:
+    """Knobs shared by every scenario."""
+
+    #: Topology family (see :func:`repro.scenarios.generators.build_topology`);
+    #: ``"auto"`` lets the scenario pick its preferred family.
+    topology: str = "auto"
+    #: Integer size knob interpreted by the topology family.
+    scale: int = 1
+    flow_count: int = 8
+    rate_pps: float = 250.0
+    seed: int = 7
+    #: Fraction of generated switches using the buggy hardware profile.
+    hardware_fraction: float = DEFAULT_HARDWARE_FRACTION
+    #: Seconds of traffic before the update starts.
+    warmup: float = 0.2
+    #: Seconds of traffic kept running after the update finishes.
+    grace: float = 0.3
+    #: Stop waiting for the update after this many simulated seconds; a plan
+    #: that has not finished by then is reported as not completed.
+    max_update_duration: float = 15.0
+    #: Bound K on unconfirmed modifications (``None``: 2 * flow_count, >= 16).
+    max_unconfirmed: Optional[int] = None
+
+    def scaled(self, **overrides) -> "ScenarioParams":
+        """A copy with selected fields replaced."""
+        return replace(self, **overrides)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-able form (used for campaign config hashing)."""
+        return asdict(self)
+
+
+class Scenario:
+    """Base class for scenarios; subclasses override the protocol methods.
+
+    The engine calls the methods in this order::
+
+        topology = scenario.build_topology()
+        network  = Network(sim, topology, ...)
+        flows    = scenario.flows(network)
+        scenario.preinstall(network, flows)
+        plan     = scenario.build_plan(network, flows)
+        ...run...
+        markers  = scenario.new_path_switches(network, flows)
+        metrics  = scenario.metrics(network, plan, executor)
+    """
+
+    #: Registry key; subclasses must set it.
+    name: str = ""
+    #: One-line human description shown by ``python -m repro.campaign list``.
+    description: str = ""
+    #: Topology family used when ``params.topology`` is ``"auto"``.
+    default_topology: str = "leaf-spine"
+
+    def __init__(self, params: Optional[ScenarioParams] = None) -> None:
+        self.params = params or ScenarioParams()
+
+    # -- protocol ------------------------------------------------------------
+    def build_topology(self) -> Topology:
+        """The network the scenario runs on (default: the declared family)."""
+        family = self.params.topology
+        if family == "auto":
+            family = self.default_topology
+        return build_topology(
+            family,
+            scale=self.params.scale,
+            seed=self.params.seed,
+            hardware_fraction=self.params.hardware_fraction,
+        )
+
+    def flows(self, network: Network) -> List[FlowSpec]:
+        """The application flows that traffic the network during the update."""
+        raise NotImplementedError
+
+    def preinstall(self, network: Network, flows: List[FlowSpec]) -> None:
+        """Install the forwarding state that predates the measured update."""
+
+    def build_plan(self, network: Network, flows: List[FlowSpec]) -> UpdatePlan:
+        """The dependency-ordered update the controller executes."""
+        raise NotImplementedError
+
+    def new_path_switches(self, network: Network,
+                          flows: List[FlowSpec]) -> Dict[str, str]:
+        """Per-flow switch whose traversal marks "this flow reached the new path".
+
+        Flows absent from the mapping are excluded from update-time
+        statistics (they are not migrating).  The default — no flow tracked —
+        suits scenarios measured purely through :meth:`metrics`.
+        """
+        return {}
+
+    def metrics(self, network: Network, plan: UpdatePlan,
+                executor) -> Dict[str, object]:
+        """Scenario-specific result numbers (JSON-able values only)."""
+        return {}
+
+
+#: The registry: scenario name -> scenario class.
+SCENARIOS: Dict[str, Type[Scenario]] = {}
+
+
+def register(cls: Type[Scenario]) -> Type[Scenario]:
+    """Class decorator adding a scenario to :data:`SCENARIOS`."""
+    if not cls.name:
+        raise ValueError(f"{cls.__name__} must set a non-empty name")
+    if cls.name in SCENARIOS:
+        raise ValueError(f"scenario {cls.name!r} is already registered")
+    SCENARIOS[cls.name] = cls
+    return cls
+
+
+def available_scenarios() -> List[str]:
+    """Registered scenario names, sorted."""
+    return sorted(SCENARIOS)
+
+
+def get_scenario(name: str, params: Optional[ScenarioParams] = None) -> Scenario:
+    """Instantiate a registered scenario by name."""
+    if name not in SCENARIOS:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {available_scenarios()}"
+        )
+    return SCENARIOS[name](params)

@@ -1,0 +1,194 @@
+"""Tests for the campaign grid, runner (incl. resume) and report."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import (
+    CampaignCell,
+    CampaignRunner,
+    CampaignSpec,
+    aggregate,
+    completed_cell_ids,
+    load_records,
+    render_report,
+    run_cell,
+)
+from repro.campaign.runner import _terminate_partial_line
+
+
+def _tiny_spec(**overrides):
+    defaults = dict(
+        scenarios=["path-migration"],
+        techniques=["barrier", "general"],
+        scales=[1],
+        seeds=[1, 2],
+        flow_count=2,
+        max_update_duration=5.0,
+    )
+    defaults.update(overrides)
+    return CampaignSpec(**defaults)
+
+
+class TestGrid:
+    def test_cross_product(self):
+        spec = _tiny_spec(techniques=["barrier", "general", "timeout"],
+                          seeds=[1, 2])
+        cells = spec.cells()
+        assert len(cells) == 6
+        assert len({cell.cell_id for cell in cells}) == 6
+
+    def test_cell_id_stable_and_config_sensitive(self):
+        cell = CampaignCell(scenario="path-migration", technique="general")
+        again = CampaignCell(scenario="path-migration", technique="general")
+        other = CampaignCell(scenario="path-migration", technique="general",
+                             seed=99)
+        assert cell.cell_id == again.cell_id
+        assert cell.cell_id != other.cell_id
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError):
+            _tiny_spec(scenarios=["nope"]).cells()
+
+    def test_unknown_technique_rejected(self):
+        with pytest.raises(ValueError, match="unknown technique"):
+            _tiny_spec(techniques=["barier"]).cells()
+
+    def test_no_wait_technique_accepted(self):
+        assert _tiny_spec(techniques=["no-wait"]).cells()
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError):
+            _tiny_spec(techniques=[]).cells()
+
+
+class TestRunCell:
+    def test_ok_record(self):
+        cell = CampaignCell(scenario="path-migration", technique="general",
+                            flow_count=2, max_update_duration=5.0)
+        record = run_cell(cell)
+        assert record["status"] == "ok"
+        assert record["cell_id"] == cell.cell_id
+        assert record["config"]["scenario"] == "path-migration"
+        json.dumps(record)  # must be JSON-able
+
+    def test_error_isolated(self):
+        cell = CampaignCell(scenario="ecmp-rebalance", technique="general",
+                            topology="triangle")
+        record = run_cell(cell)
+        assert record["status"] == "error"
+        assert "error" in record
+
+
+class TestRunnerResume:
+    def test_full_run_then_resume_skips_everything(self, tmp_path):
+        results = tmp_path / "results.jsonl"
+        runner = CampaignRunner(_tiny_spec(), results, max_workers=2)
+        outcome = runner.run()
+        assert outcome.ran == 4
+        assert outcome.skipped == 0
+        assert outcome.failed == 0
+        assert len(completed_cell_ids(results)) == 4
+
+        again = CampaignRunner(_tiny_spec(), results, max_workers=2).run()
+        assert again.ran == 0
+        assert again.skipped == 4
+
+    def test_resume_runs_only_missing_cells(self, tmp_path):
+        results = tmp_path / "results.jsonl"
+        spec = _tiny_spec()
+        cells = spec.cells()
+        # Pretend a previous campaign finished two cells, then was killed
+        # mid-write of a third.
+        with results.open("w", encoding="utf-8") as handle:
+            for cell in cells[:2]:
+                handle.write(json.dumps(run_cell(cell)) + "\n")
+            handle.write('{"cell_id": "half-writ')  # no newline: killed here
+        outcome = CampaignRunner(spec, results, max_workers=2).run()
+        assert outcome.skipped == 2
+        assert outcome.ran == 2
+        assert len(completed_cell_ids(results)) == 4
+
+    def test_incomplete_cells_are_final_on_resume(self, tmp_path):
+        # A deterministic simulation that hit its deadline reproduces the
+        # same outcome every time; resume must not re-run it forever.
+        results = tmp_path / "results.jsonl"
+        spec = _tiny_spec()
+        cell = spec.cells()[0]
+        results.write_text(json.dumps({
+            "cell_id": cell.cell_id,
+            "config": cell.config(),
+            "status": "incomplete",
+        }) + "\n")
+        runner = CampaignRunner(spec, results, max_workers=2)
+        assert len(runner.pending_cells()) == 3
+
+    def test_error_cells_are_retried_on_resume(self, tmp_path):
+        results = tmp_path / "results.jsonl"
+        spec = _tiny_spec()
+        cell = spec.cells()[0]
+        with results.open("w", encoding="utf-8") as handle:
+            handle.write(json.dumps({
+                "cell_id": cell.cell_id,
+                "config": cell.config(),
+                "status": "error",
+                "error": "Boom",
+            }) + "\n")
+        runner = CampaignRunner(spec, results, max_workers=2)
+        assert len(runner.pending_cells()) == 4
+
+    def test_unserializable_record_downgraded_to_error(self):
+        from repro.campaign.runner import encode_record
+
+        cell = CampaignCell(scenario="path-migration", technique="general")
+        bad = {"cell_id": cell.cell_id, "status": "ok",
+               "metrics": {("a", "b"): 1}}
+        line, record = encode_record(bad, cell)
+        assert record["status"] == "error"
+        assert "unserializable" in record["error"]
+        assert json.loads(line)["cell_id"] == cell.cell_id
+        # A normal record round-trips unchanged.
+        good = {"cell_id": cell.cell_id, "status": "ok", "metrics": {}}
+        line, record = encode_record(good, cell)
+        assert record is good and json.loads(line) == good
+
+    def test_partial_line_termination(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        path.write_text('{"cell_id": "x", "status": "ok"}\n{"broken')
+        _terminate_partial_line(path)
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"cell_id": "y", "status": "ok"}\n')
+        records = load_records(path)
+        assert [r["cell_id"] for r in records] == ["x", "y"]
+
+
+class TestReport:
+    def test_aggregate_groups_by_scenario_and_technique(self):
+        records = [
+            {"status": "ok", "scenario": "s", "technique": "barrier",
+             "update_duration": 0.1, "mean_update_time": 0.05,
+             "dropped_packets": 3, "metrics": {"http_bypassing_firewall": 2}},
+            {"status": "ok", "scenario": "s", "technique": "barrier",
+             "update_duration": 0.3, "mean_update_time": 0.15,
+             "dropped_packets": 1, "metrics": {}},
+            {"status": "error", "scenario": "s", "technique": "general"},
+        ]
+        rows = aggregate(records)
+        assert len(rows) == 1
+        scenario, technique, cells, duration, _mut, dropped, violations = rows[0]
+        assert (scenario, technique, cells) == ("s", "barrier", 2)
+        assert duration == pytest.approx(0.2)
+        assert dropped == 4
+        assert violations == 2
+
+    def test_render_report_empty_file(self, tmp_path):
+        assert "no campaign records" in render_report(tmp_path / "none.jsonl")
+
+    def test_render_report_end_to_end(self, tmp_path):
+        results = tmp_path / "results.jsonl"
+        spec = CampaignSpec.quick()
+        CampaignRunner(spec, results, max_workers=1).run()
+        text = render_report(results)
+        assert "path-migration" in text
+        assert "general" in text
