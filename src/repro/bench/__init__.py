@@ -1,0 +1,22 @@
+"""Persistent benchmark harness for the simulation core.
+
+``python -m repro.bench`` runs the suite in :mod:`repro.bench.suite`,
+writes a ``BENCH_<rev>.json`` report (per-benchmark wall time, events/sec
+and peak RSS) and compares the run against the committed baseline in
+``benchmarks/BASELINE.json``, failing on regressions beyond a configurable
+threshold.  See the README section "Benchmarking & performance".
+"""
+
+from repro.bench.compare import BenchComparison, compare_results, load_baseline
+from repro.bench.harness import BenchResult, run_suite
+from repro.bench.suite import BENCHMARKS, benchmark_names
+
+__all__ = [
+    "BENCHMARKS",
+    "BenchComparison",
+    "BenchResult",
+    "benchmark_names",
+    "compare_results",
+    "load_baseline",
+    "run_suite",
+]

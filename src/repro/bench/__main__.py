@@ -1,0 +1,134 @@
+"""``python -m repro.bench`` — run the benchmark suite and gate regressions.
+
+Examples::
+
+    python -m repro.bench                 # full suite, compare vs baseline
+    python -m repro.bench --quick         # CI smoke scale
+    python -m repro.bench --update-baseline
+    python -m repro.bench --only kernel-steps --only flowtable-lookup
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.bench.compare import (
+    DEFAULT_THRESHOLD,
+    compare_results,
+    load_baseline,
+)
+from repro.bench.harness import run_suite
+from repro.bench.suite import BENCHMARKS, benchmark_names
+
+#: The committed baseline every run is compared against.
+DEFAULT_BASELINE = Path(__file__).resolve().parents[3] / "benchmarks" / "BASELINE.json"
+
+
+def _revision() -> str:
+    """Short git revision of the working tree, or ``local``."""
+    try:
+        output = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10, check=True,
+        ).stdout.strip()
+        return output or "local"
+    except Exception:  # noqa: BLE001 - git is optional at bench time
+        return "local"
+
+
+def _report(results, scale: str) -> dict:
+    return {
+        "scale": scale,
+        "revision": _revision(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "results": [result.as_dict() for result in results],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Run the repro benchmark suite and compare against the "
+                    "committed baseline.",
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced CI-smoke scale instead of the full suite")
+    parser.add_argument("--only", action="append", metavar="NAME",
+                        help="run only the named benchmark (repeatable); "
+                             f"known: {', '.join(benchmark_names())}")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="report path (default: ./BENCH_<rev>.json)")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
+                        help="baseline file to compare against "
+                             "(default: benchmarks/BASELINE.json)")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="regression threshold as a fraction "
+                             "(default: 0.25 = fail when >25%% slower)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="write this run into the baseline file instead "
+                             "of failing on regressions")
+    parser.add_argument("--list", action="store_true",
+                        help="list benchmarks and exit")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for spec in BENCHMARKS:
+            kind = " (reference)" if spec.is_reference else ""
+            print(f"{spec.name:<24} {spec.description}{kind}")
+        return 0
+
+    unknown = set(args.only or []) - set(benchmark_names())
+    if unknown:
+        parser.error(f"unknown benchmark(s): {', '.join(sorted(unknown))}")
+
+    scale = "quick" if args.quick else "full"
+    results = run_suite(BENCHMARKS, scale=scale, only=args.only, progress=print)
+    report = _report(results, scale)
+
+    out_path = args.out or Path.cwd() / f"BENCH_{report['revision']}.json"
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"\nwrote {out_path}")
+
+    if args.update_baseline:
+        baseline_payload = {}
+        if args.baseline.exists():
+            baseline_payload = json.loads(args.baseline.read_text(encoding="utf-8"))
+        baseline_payload[scale] = report
+        args.baseline.parent.mkdir(parents=True, exist_ok=True)
+        args.baseline.write_text(
+            json.dumps(baseline_payload, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"updated baseline {args.baseline} [{scale}]")
+        return 0
+
+    baseline_entries = load_baseline(args.baseline, scale)
+    if baseline_entries is None:
+        print(f"no baseline for scale {scale!r} at {args.baseline}; "
+              "skipping comparison (use --update-baseline to create one)")
+        return 0
+    # --only runs are partial: compare what ran, never fail on the rest.
+    comparison = compare_results(results, baseline_entries,
+                                 threshold=args.threshold)
+    print()
+    print(comparison.render())
+    for delta in comparison.digest_changes:
+        print(f"WARNING: {delta.name}: deterministic result digest changed "
+              "vs baseline (same seeds should give same results)")
+    if not comparison.ok:
+        names = ", ".join(delta.name for delta in comparison.regressions)
+        print(f"FAIL: regression beyond {args.threshold:.0%} in: {names}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

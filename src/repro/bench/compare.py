@@ -1,0 +1,147 @@
+"""Baseline comparison and regression detection.
+
+Reports are compared on *normalized* wall time (benchmark wall divided by
+the reference calibration loop's wall on the same machine) when both sides
+have it, so a baseline committed from one machine remains meaningful on CI
+runners with different absolute speed.  Raw wall time is the fallback.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.harness import BenchResult
+
+#: Default regression threshold: fail when a benchmark is more than 25%
+#: slower than the committed baseline (normalized units).
+DEFAULT_THRESHOLD = 0.25
+
+
+@dataclass
+class BenchDelta:
+    """One benchmark's current-vs-baseline comparison."""
+
+    name: str
+    baseline: float
+    current: float
+    #: ``baseline / current`` in normalized units — > 1 means faster now.
+    speedup: float
+    regressed: bool
+    digest_changed: bool = False
+
+
+@dataclass
+class BenchComparison:
+    """Outcome of comparing a run against a baseline."""
+
+    deltas: List[BenchDelta] = field(default_factory=list)
+    #: Benchmarks present on only one side (ignored for pass/fail).
+    unmatched: List[str] = field(default_factory=list)
+
+    @property
+    def aggregate_speedup(self) -> Optional[float]:
+        """Geometric-mean speedup across matched benchmarks."""
+        ratios = [delta.speedup for delta in self.deltas if delta.speedup > 0]
+        if not ratios:
+            return None
+        return math.exp(sum(math.log(ratio) for ratio in ratios) / len(ratios))
+
+    @property
+    def regressions(self) -> List[BenchDelta]:
+        """Benchmarks beyond the regression threshold."""
+        return [delta for delta in self.deltas if delta.regressed]
+
+    @property
+    def digest_changes(self) -> List[BenchDelta]:
+        """Benchmarks whose deterministic result digest changed."""
+        return [delta for delta in self.deltas if delta.digest_changed]
+
+    @property
+    def ok(self) -> bool:
+        """Whether the run passes the regression gate."""
+        return not self.regressions
+
+    def render(self) -> str:
+        """Human-readable comparison table."""
+        lines = [
+            f"{'benchmark':<24} {'baseline':>10} {'current':>10} {'speedup':>8}"
+        ]
+        for delta in self.deltas:
+            flags = " REGRESSION" if delta.regressed else ""
+            if delta.digest_changed:
+                flags += " DIGEST-CHANGED"
+            lines.append(
+                f"{delta.name:<24} {delta.baseline:>10.4f} "
+                f"{delta.current:>10.4f} {delta.speedup:>7.2f}x{flags}"
+            )
+        aggregate = self.aggregate_speedup
+        if aggregate is not None:
+            lines.append(f"{'aggregate (geomean)':<24} {'':>10} {'':>10} "
+                         f"{aggregate:>7.2f}x")
+        if self.unmatched:
+            lines.append(f"(no baseline entry: {', '.join(self.unmatched)})")
+        return "\n".join(lines)
+
+
+def _cost(entry: Dict[str, object], use_normalized: bool) -> Optional[float]:
+    value = entry.get("normalized") if use_normalized else entry.get("wall_s")
+    return float(value) if value is not None else None
+
+
+def compare_results(
+    current: Sequence[BenchResult],
+    baseline_entries: Sequence[Dict[str, object]],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> BenchComparison:
+    """Compare a fresh run against a baseline report's result entries."""
+    baseline_by_name = {str(entry.get("name")): entry for entry in baseline_entries}
+    comparison = BenchComparison()
+    for result in current:
+        entry = baseline_by_name.pop(result.name, None)
+        if entry is None:
+            comparison.unmatched.append(result.name)
+            continue
+        current_dict = result.as_dict()
+        use_normalized = (entry.get("normalized") is not None
+                          and result.normalized is not None)
+        baseline_cost = _cost(entry, use_normalized)
+        current_cost = _cost(current_dict, use_normalized)
+        if baseline_cost is None or current_cost is None or current_cost <= 0:
+            comparison.unmatched.append(result.name)
+            continue
+        baseline_digest = (entry.get("meta") or {}).get("digest")
+        current_digest = result.meta.get("digest")
+        comparison.deltas.append(
+            BenchDelta(
+                name=result.name,
+                baseline=baseline_cost,
+                current=current_cost,
+                speedup=baseline_cost / current_cost,
+                regressed=current_cost > baseline_cost * (1.0 + threshold),
+                digest_changed=(baseline_digest is not None
+                                and current_digest is not None
+                                and baseline_digest != current_digest),
+            )
+        )
+    comparison.unmatched.extend(sorted(baseline_by_name))
+    return comparison
+
+
+def load_baseline(path: Path, scale: str) -> Optional[List[Dict[str, object]]]:
+    """The baseline result entries for ``scale``, or ``None`` if absent.
+
+    The baseline file stores one report per scale:
+    ``{"quick": {"results": [...]}, "full": {"results": [...]}}``.
+    """
+    path = Path(path)
+    if not path.exists():
+        return None
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    section = payload.get(scale)
+    if not section:
+        return None
+    return list(section.get("results", []))

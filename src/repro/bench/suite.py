@@ -1,0 +1,228 @@
+"""The benchmark suite: seeded workloads covering every hot layer.
+
+Benchmarks are deterministic (fixed seeds) so that, besides timing, their
+result digests double as an end-to-end determinism check: an optimization
+that changes *what* a simulation computes — not just how fast — shows up as
+a digest mismatch against the committed baseline.
+
+Scales:
+
+* ``quick`` — seconds-level total, used by the CI smoke job,
+* ``full``  — the scale reported in ``BENCH_<rev>.json`` for PR-to-PR
+  comparisons (``python -m repro.bench`` without ``--quick``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List
+
+from repro.bench.harness import BenchSpec
+
+#: (quick, full) workload sizes, per benchmark.
+_KERNEL_PROCESSES = {"quick": 50, "full": 100}
+_KERNEL_STEPS_EACH = {"quick": 2000, "full": 8000}
+_LOOKUP_RULES = {"quick": 120, "full": 240}
+_LOOKUP_PACKETS = {"quick": 20000, "full": 80000}
+_PACKET_OUT_COUNT = {"quick": 1500, "full": 6000}
+_FIG7_FLOWS = {"quick": 12, "full": 60}
+_SCENARIO_FLOWS = {"quick": 4, "full": 8}
+
+
+def _digest(payload: str) -> str:
+    return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:16]
+
+
+# -- reference -----------------------------------------------------------------
+def bench_reference(scale: str) -> Dict[str, object]:
+    """Pure-Python calibration loop used to normalize machine speed."""
+    iterations = 2_000_000 if scale == "quick" else 4_000_000
+    total = 0
+    for index in range(iterations):
+        total += index & 1023
+    return {"events": iterations, "checksum": total}
+
+
+# -- kernel -------------------------------------------------------------------
+def bench_kernel_steps(scale: str) -> Dict[str, object]:
+    """Steady-state stepping cost: many processes sleeping in a loop."""
+    from repro.sim.kernel import Simulator
+
+    processes = _KERNEL_PROCESSES[scale]
+    steps_each = _KERNEL_STEPS_EACH[scale]
+    sim = Simulator()
+    done = [0]
+
+    def sleeper(interval: float):
+        for _ in range(steps_each):
+            yield interval
+        done[0] += 1
+
+    for index in range(processes):
+        sim.process(sleeper(0.001 + index * 1e-6), name=f"sleeper-{index}")
+    sim.run()
+    assert done[0] == processes
+    return {"events": processes * steps_each, "final_time": round(sim.now, 9)}
+
+
+def bench_kernel_callbacks(scale: str) -> Dict[str, object]:
+    """Raw callback scheduling/dispatch throughput (no processes)."""
+    from repro.sim.kernel import Simulator
+
+    count = 200_000 if scale == "quick" else 600_000
+    sim = Simulator()
+    fired = [0]
+
+    def tick() -> None:
+        fired[0] += 1
+
+    batch = getattr(sim, "schedule_many", None)
+    if batch is not None:
+        batch((index * 1e-6, tick) for index in range(count))
+    else:  # pre-optimization kernels lack the bulk API
+        for index in range(count):
+            sim.schedule_callback(index * 1e-6, tick)
+    sim.run()
+    assert fired[0] == count
+    return {"events": count}
+
+
+# -- data plane ----------------------------------------------------------------
+def _build_lookup_table(rules: int):
+    from repro.openflow.actions import OutputAction
+    from repro.openflow.constants import FlowModCommand
+    from repro.openflow.flowtable import FlowTable
+    from repro.openflow.match import Match
+    from repro.openflow.messages import FlowMod
+    from repro.packet.addresses import int_to_ip, ip_to_int
+
+    table = FlowTable(mode="priority")
+    src_base = ip_to_int("10.1.0.0")
+    dst_base = ip_to_int("10.2.0.0")
+    for index in range(rules):
+        if index % 5 == 4:
+            # Prefix rule: a /24 around this source block.
+            match = Match(ip_src=(int_to_ip((src_base + index) & ~0xFF), 24))
+        else:
+            match = Match(
+                ip_src=int_to_ip(src_base + index),
+                ip_dst=int_to_ip(dst_base + index),
+            )
+        table.apply_flowmod(
+            FlowMod(match, [OutputAction(1 + index % 4)], priority=100,
+                    command=FlowModCommand.ADD),
+            now=0.0,
+        )
+    table.apply_flowmod(
+        FlowMod(Match(), [OutputAction(9)], priority=1,
+                command=FlowModCommand.ADD),
+        now=0.0,
+    )
+    return table, src_base, dst_base
+
+
+def bench_flowtable_lookup(scale: str) -> Dict[str, object]:
+    """Per-packet classification over a mixed exact/prefix/wildcard table."""
+    from repro.packet.addresses import int_to_ip
+    from repro.packet.packet import make_ip_packet
+
+    rules = _LOOKUP_RULES[scale]
+    lookups = _LOOKUP_PACKETS[scale]
+    table, src_base, dst_base = _build_lookup_table(rules)
+    packets = [
+        make_ip_packet(
+            int_to_ip(src_base + index % (rules + 8)),
+            int_to_ip(dst_base + index % (rules + 8)),
+        )
+        for index in range(64)
+    ]
+    hits = 0
+    for index in range(lookups):
+        entry = table.lookup(packets[index % 64])
+        if entry is not None:
+            hits += 1
+    return {"events": lookups, "hits": hits, "rules": len(table)}
+
+
+# -- experiments ----------------------------------------------------------------
+def bench_microbench_packet_out(scale: str) -> Dict[str, object]:
+    """Section 5.2 PacketOut micro-benchmark on the hardware switch model."""
+    from repro.experiments.microbench import MicrobenchParams, measure_packet_out_rate
+
+    params = MicrobenchParams(packet_out_count=_PACKET_OUT_COUNT[scale])
+    rate = measure_packet_out_rate(params)
+    return {
+        "events": params.packet_out_count,
+        "packet_out_rate": round(rate, 3),
+    }
+
+
+def bench_fig7_probing(scale: str) -> Dict[str, object]:
+    """End-to-end Figure 7 run (three probing techniques, full stack)."""
+    from repro.experiments.common import EndToEndParams
+    from repro.experiments.fig7_probing import run_fig7
+
+    params = EndToEndParams(flow_count=_FIG7_FLOWS[scale])
+    result = run_fig7(params)
+    payload = repr(sorted(
+        (name, res.dropped_packets, res.update_pairs())
+        for name, res in result.results.items()
+    ))
+    total_packets = sum(
+        stat.packets_sent for res in result.results.values() for stat in res.stats
+    )
+    return {
+        "events": total_packets or None,
+        "digest": _digest(payload),
+        "dropped": {name: res.dropped_packets
+                    for name, res in sorted(result.results.items())},
+    }
+
+
+def bench_scenario_migration(scale: str) -> Dict[str, object]:
+    """One campaign-style scenario cell (path migration on leaf-spine)."""
+    from repro.scenarios.base import ScenarioParams
+    from repro.scenarios.engine import run_scenario
+
+    params = ScenarioParams(
+        flow_count=_SCENARIO_FLOWS[scale], seed=3, max_update_duration=10.0
+    )
+    result = run_scenario("path-migration", "general", params)
+    payload = repr((
+        result.dropped_packets,
+        result.completed,
+        [(stat.flow_id, stat.last_old_path, stat.first_new_path,
+          stat.broken_time, stat.packets_sent, stat.packets_received)
+         for stat in result.stats],
+    ))
+    packets = sum(stat.packets_sent for stat in result.stats)
+    return {
+        "events": packets or None,
+        "digest": _digest(payload),
+        "dropped": result.dropped_packets,
+        "completed": result.completed,
+    }
+
+
+BENCHMARKS: List[BenchSpec] = [
+    BenchSpec("reference", bench_reference,
+              "pure-Python calibration loop (normalizes machine speed)",
+              is_reference=True),
+    BenchSpec("kernel-steps", bench_kernel_steps,
+              "process stepping: many sleeping processes"),
+    BenchSpec("kernel-callbacks", bench_kernel_callbacks,
+              "raw callback schedule + dispatch throughput"),
+    BenchSpec("flowtable-lookup", bench_flowtable_lookup,
+              "flow-table classification, mixed exact/prefix/wildcard rules"),
+    BenchSpec("microbench-packet-out", bench_microbench_packet_out,
+              "Section 5.2 PacketOut rate micro-benchmark"),
+    BenchSpec("fig7-probing", bench_fig7_probing,
+              "end-to-end Figure 7 (three probing techniques)"),
+    BenchSpec("scenario-migration", bench_scenario_migration,
+              "campaign scenario cell: path migration, general probing"),
+]
+
+
+def benchmark_names() -> List[str]:
+    """Registered benchmark names, suite order."""
+    return [spec.name for spec in BENCHMARKS]

@@ -59,6 +59,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--flows", type=int, default=8, help="flows per cell")
     run.add_argument("--workers", type=int, default=None,
                      help="worker processes (default: min(cpu, 8))")
+    run.add_argument("--chunk-size", type=int, default=None,
+                     help="cells dispatched per worker task (default: "
+                          "auto, ~4 chunks per worker, max 8)")
     run.add_argument("--out", type=Path, default=Path(DEFAULT_RESULTS),
                      help="JSON-lines results file (appended; enables resume)")
     run.add_argument("--fresh", action="store_true",
@@ -101,7 +104,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     spec.validate()
     if args.fresh and args.out.exists():
         args.out.unlink()
-    runner = CampaignRunner(spec, args.out, max_workers=args.workers)
+    runner = CampaignRunner(spec, args.out, max_workers=args.workers,
+                            chunk_size=args.chunk_size)
     cells = spec.cells()
     print(f"campaign: {len(cells)} cells "
           f"({len(spec.scenarios)} scenarios x {len(spec.techniques)} techniques "

@@ -93,6 +93,11 @@ class FlowTable:
         self.name = name
         self._entries: List[FlowEntry] = []
         self._install_counter = 0
+        #: Compiled lookup structure, built lazily and dropped on mutation.
+        #: ``priority`` mode: priority-descending buckets, each with an
+        #: exact-match hash fast path plus compiled wildcard matchers.
+        #: ``install_order`` mode: recency-ordered ``(entry, matcher)`` list.
+        self._lookup_index = None
 
     # -- inspection --------------------------------------------------------
     def __len__(self) -> int:
@@ -143,6 +148,7 @@ class FlowTable:
         raise ValueError(f"unsupported FlowMod command {command}")
 
     def _add(self, flowmod: FlowMod, now: float) -> FlowEntry:
+        self._invalidate_index()
         # OpenFlow ADD semantics: an identical match at the same priority is
         # replaced rather than duplicated.
         for index, entry in enumerate(self._entries):
@@ -174,6 +180,7 @@ class FlowTable:
         return entry
 
     def _modify(self, flowmod: FlowMod, strict: bool, now: float) -> List[FlowEntry]:
+        self._invalidate_index()
         touched: List[FlowEntry] = []
         for entry in self._entries:
             if self._selected(entry, flowmod.match, flowmod.priority, strict):
@@ -187,6 +194,7 @@ class FlowTable:
         return touched
 
     def _delete(self, flowmod: FlowMod, strict: bool) -> None:
+        self._invalidate_index()
         self._entries = [
             entry
             for entry in self._entries
@@ -203,17 +211,107 @@ class FlowTable:
 
     def remove_entry(self, entry: FlowEntry) -> None:
         """Remove a specific entry object (used by timeout expiry)."""
+        self._invalidate_index()
         self._entries = [candidate for candidate in self._entries if candidate is not entry]
 
     def clear(self) -> None:
         """Remove all entries."""
+        self._invalidate_index()
         self._entries.clear()
 
     # -- lookup -----------------------------------------------------------------
+    def _invalidate_index(self) -> None:
+        self._lookup_index = None
+
+    def _build_priority_index(self):
+        """Priority-descending buckets with an exact-match dict fast path.
+
+        Each bucket holds the entries of one priority as
+        ``(exact_groups, wildcard)`` where ``exact_groups`` maps a field
+        signature (tuple of constrained field indices) to a hash table
+        ``{field values: (order, entry)}`` for fully-specified rules, and
+        ``wildcard`` lists the remaining entries as compiled matchers in
+        tie-break order (``order`` is ``(installed_at, entry_id)`` — the
+        equal-priority "older entry wins" rule).
+        """
+        by_priority: Dict[int, list] = {}
+        for entry in self._entries:
+            by_priority.setdefault(entry.priority, []).append(
+                ((entry.installed_at, entry.entry_id), entry)
+            )
+        buckets = []
+        for priority in sorted(by_priority, reverse=True):
+            exact_groups: Dict[tuple, dict] = {}
+            wildcard = []
+            for order, entry in sorted(by_priority[priority]):
+                match = entry.match
+                constraints = match.compiled_constraints()
+                if constraints and match.is_exact:
+                    signature = tuple(item[0] for item in constraints)
+                    group = exact_groups.setdefault(signature, {})
+                    key = tuple(item[1] for item in constraints)
+                    # Oldest entry wins among identical (priority, match)
+                    # duplicates, mirroring the linear reference scan.
+                    group.setdefault(key, (order, entry))
+                else:
+                    wildcard.append((order, entry, match.compiled()))
+            buckets.append((list(exact_groups.items()), wildcard))
+        return buckets
+
+    def _build_install_order_index(self):
+        """Recency-first compiled entry list (hardware table semantics)."""
+        ordered = sorted(
+            self._entries, key=lambda entry: (-entry.installed_at, -entry.entry_id)
+        )
+        return [(entry, entry.match.compiled()) for entry in ordered]
+
+    def lookup_values(self, values) -> Optional[FlowEntry]:
+        """Classify a fixed-order header value array (the hot path).
+
+        ``values`` follows :data:`~repro.packet.fields.FIELD_ORDER` with
+        ``None`` for absent fields (read as zero), exactly like
+        ``packet._values`` with ``in_port`` filled in.
+        """
+        index = self._lookup_index
+        if self.mode == "install_order":
+            if index is None:
+                index = self._lookup_index = self._build_install_order_index()
+            for entry, matcher in index:
+                if matcher(values):
+                    return entry
+            return None
+        if index is None:
+            index = self._lookup_index = self._build_priority_index()
+        for exact_groups, wildcard in index:
+            best_order = None
+            best_entry = None
+            for signature, group in exact_groups:
+                key = tuple((values[i] or 0) for i in signature)
+                hit = group.get(key)
+                if hit is not None and (best_order is None or hit[0] < best_order):
+                    best_order, best_entry = hit
+            for order, entry, matcher in wildcard:
+                if best_order is not None and order > best_order:
+                    break
+                if matcher(values):
+                    best_order, best_entry = order, entry
+                    break
+            if best_entry is not None:
+                return best_entry
+        return None
+
     def lookup(self, packet: Packet) -> Optional[FlowEntry]:
         """The entry that would forward ``packet``, or ``None`` (table miss)."""
+        return self.lookup_values(packet._values)
+
+    def lookup_reference(self, packet: Packet) -> Optional[FlowEntry]:
+        """Reference (unoptimized) lookup: sorted linear scan.
+
+        The original implementation, kept for equivalence testing against
+        :meth:`lookup_values`' compiled index.
+        """
         for entry in self.entries_sorted_for_lookup():
-            if entry.match.matches_packet(packet):
+            if entry.match.matches_packet_reference(packet):
                 return entry
         return None
 

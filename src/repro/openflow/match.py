@@ -15,11 +15,59 @@ prefix length so ``10.0.0.0/24`` style rules work.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.packet.addresses import ip_to_int, mac_to_int, prefix_mask
-from repro.packet.fields import FIELD_REGISTRY, HeaderField
+from repro.packet.fields import (
+    FIELD_INDEX,
+    FIELD_MAX_BY_INDEX,
+    FIELD_REGISTRY,
+    HeaderField,
+)
 from repro.packet.packet import Packet
+
+def _compile_matcher(
+    constraints: Tuple[Tuple[int, int, int], ...]
+) -> Callable[[List[Optional[int]]], bool]:
+    """Build a classifier closure for ``(field_index, value, mask)`` tuples.
+
+    Operates on a packet's fixed-order header value array where ``None``
+    means "field absent", which OpenFlow 1.0 treats as zero.  The one- and
+    two-constraint shapes (the vast majority of installed rules) get
+    specialised closures without loop overhead.
+    """
+    if not constraints:
+        return lambda values: True
+    if len(constraints) == 1:
+        ((index, want, mask),) = constraints
+
+        def match_one(values, _i=index, _want=want, _mask=mask):
+            value = values[_i]
+            return ((value or 0) & _mask) == _want
+
+        return match_one
+    if len(constraints) == 2:
+        (index_a, want_a, mask_a), (index_b, want_b, mask_b) = constraints
+
+        def match_two(values, _ia=index_a, _wa=want_a, _ma=mask_a,
+                      _ib=index_b, _wb=want_b, _mb=mask_b):
+            value_a = values[_ia]
+            if ((value_a or 0) & _ma) != _wa:
+                return False
+            value_b = values[_ib]
+            return ((value_b or 0) & _mb) == _wb
+
+        return match_two
+
+    def match_many(values, _constraints=constraints):
+        for index, want, mask in _constraints:
+            value = values[index]
+            if ((value or 0) & mask) != want:
+                return False
+        return True
+
+    return match_many
+
 
 #: Fields that support prefix (masked) matching.
 _PREFIX_FIELDS = (HeaderField.IP_SRC, HeaderField.IP_DST)
@@ -42,9 +90,10 @@ class Match:
     full-width mask.
     """
 
-    __slots__ = ("_fields",)
+    __slots__ = ("_fields", "_compiled")
 
     def __init__(self, **kwargs) -> None:
+        self._compiled: Optional[Callable[[List[Optional[int]]], bool]] = None
         fields: Dict[HeaderField, Tuple[int, int]] = {}
         for name, raw in kwargs.items():
             if raw is None:
@@ -110,11 +159,64 @@ class Match:
 
     # -- classification -----------------------------------------------------
     def matches_packet(self, packet: Packet) -> bool:
-        """Whether ``packet`` satisfies every constraint of this match."""
+        """Whether ``packet`` satisfies every constraint of this match.
+
+        Dispatches to the compiled matcher (see :meth:`compiled`); the
+        original dict-walking implementation is kept as
+        :meth:`matches_packet_reference` for equivalence testing.
+        """
+        matcher = self._compiled
+        if matcher is None:
+            matcher = self.compiled()
+        return matcher(packet._values)
+
+    def matches_packet_reference(self, packet: Packet) -> bool:
+        """Reference (unoptimized) matcher: walk the constraint dict.
+
+        Kept verbatim from the original implementation so property tests can
+        assert the compiled matcher classifies identically.
+        """
         for field, (value, mask) in self._fields.items():
             if (packet.get(field) & mask) != value:
                 return False
         return True
+
+    def compiled_constraints(self) -> Tuple[Tuple[int, int, int], ...]:
+        """The constraints as ``(field_index, value, mask)`` tuples.
+
+        Field indices follow :data:`~repro.packet.fields.FIELD_ORDER`, i.e.
+        they index directly into a packet's header value array.
+        """
+        return tuple(sorted(
+            (FIELD_INDEX[field], value, mask)
+            for field, (value, mask) in self._fields.items()
+        ))
+
+    @property
+    def is_exact(self) -> bool:
+        """True when every constrained field uses its full-width mask.
+
+        Exact matches are eligible for the flow table's hash-lookup fast
+        path (no prefix/masked fields).
+        """
+        return all(
+            mask == FIELD_MAX_BY_INDEX[FIELD_INDEX[field]]
+            for field, (_value, mask) in self._fields.items()
+        )
+
+    def compiled(self) -> Callable[[List[Optional[int]]], bool]:
+        """A compiled classifier closure over the packet header value array.
+
+        The closure takes a fixed-order value array (``packet._values``) and
+        returns whether it satisfies every constraint.  Compiled once per
+        match and cached; ``Match`` is immutable after construction so the
+        cache never goes stale.
+        """
+        matcher = self._compiled
+        if matcher is None:
+            matcher = _compile_matcher(self.compiled_constraints())
+            self._compiled = matcher
+        return matcher
 
     # -- set algebra -----------------------------------------------------------
     def covers(self, other: "Match") -> bool:

@@ -79,6 +79,31 @@ FIELD_REGISTRY: Dict[HeaderField, FieldSpec] = {
     ]
 }
 
+#: Canonical field order used by the packet header array: enum declaration
+#: order.  :class:`~repro.packet.packet.Packet` stores header values in a
+#: fixed-size list indexed by this order instead of a dict — the data-plane
+#: fast path relies on these indices.
+FIELD_ORDER: List[HeaderField] = list(HeaderField)
+
+#: ``field -> array index``.  Because :class:`HeaderField` is a ``str`` enum,
+#: members and their value strings hash and compare equal, so this single
+#: mapping serves lookups by enum member *and* by plain string name.
+FIELD_INDEX: Dict[HeaderField, int] = {
+    member: index for index, member in enumerate(FIELD_ORDER)
+}
+
+#: Number of header fields (the length of a packet's value array).
+FIELD_COUNT = len(FIELD_ORDER)
+
+#: Per-index :class:`FieldSpec`, aligned with :data:`FIELD_ORDER`.
+FIELD_SPECS_BY_INDEX: List[FieldSpec] = [
+    FIELD_REGISTRY[member] for member in FIELD_ORDER
+]
+
+#: Per-index maximum value, aligned with :data:`FIELD_ORDER` (fast range
+#: checks without attribute lookups).
+FIELD_MAX_BY_INDEX: List[int] = [spec.max_value for spec in FIELD_SPECS_BY_INDEX]
+
 # EtherType constants used by the traffic generators and probe construction.
 ETH_TYPE_IP = 0x0800
 ETH_TYPE_ARP = 0x0806

@@ -3,11 +3,15 @@
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterator, List, Optional
 
 from repro.packet.addresses import ip_to_int, mac_to_int
 from repro.packet.fields import (
     ETH_TYPE_IP,
+    FIELD_COUNT,
+    FIELD_INDEX,
+    FIELD_MAX_BY_INDEX,
+    FIELD_ORDER,
     FIELD_REGISTRY,
     HeaderField,
     IP_PROTO_UDP,
@@ -19,15 +23,19 @@ _packet_ids = itertools.count(1)
 class Packet:
     """A single data-plane packet.
 
-    Header values are stored as integers keyed by :class:`HeaderField`.
-    Fields that are absent from the mapping are treated as zero by the flow
-    table (OpenFlow 1.0 semantics: a field always has *some* value; only
-    matches can be wildcarded).
+    Header values are stored as integers in a fixed-order array indexed by
+    :data:`~repro.packet.fields.FIELD_INDEX` (``None`` marks an absent
+    field).  Absent fields are treated as zero by the flow table (OpenFlow
+    1.0 semantics: a field always has *some* value; only matches can be
+    wildcarded).  The :attr:`headers` property presents the classic
+    ``{HeaderField: value}`` dict view for construction, wire encoding and
+    debugging; the forwarding fast path reads the array directly.
 
     Parameters
     ----------
     headers:
-        Mapping of header fields to integer values.
+        Mapping of header fields (members or their string names) to integer
+        values.
     payload_size:
         Payload length in bytes, used by link models for serialisation delay.
     flow_id:
@@ -39,7 +47,7 @@ class Packet:
 
     __slots__ = (
         "packet_id",
-        "headers",
+        "_values",
         "payload_size",
         "flow_id",
         "created_at",
@@ -57,13 +65,19 @@ class Packet:
         sequence: int = 0,
         is_probe: bool = False,
     ) -> None:
-        validated: Dict[HeaderField, int] = {}
+        values: List[Optional[int]] = [None] * FIELD_COUNT
+        field_index = FIELD_INDEX
+        field_max = FIELD_MAX_BY_INDEX
         for field, value in headers.items():
-            field = HeaderField(field)
-            FIELD_REGISTRY[field].validate(value)
-            validated[field] = value
+            index = field_index.get(field)
+            if index is None:
+                # Re-raise through the enum for the canonical error message.
+                index = field_index[HeaderField(field)]
+            if not (isinstance(value, int) and 0 <= value <= field_max[index]):
+                FIELD_REGISTRY[FIELD_ORDER[index]].validate(value)
+            values[index] = value
         self.packet_id = next(_packet_ids)
-        self.headers = validated
+        self._values = values
         self.payload_size = int(payload_size)
         self.flow_id = flow_id
         self.created_at = created_at
@@ -73,33 +87,86 @@ class Packet:
         self.trace: list = []
 
     # -- header access -----------------------------------------------------
+    @property
+    def headers(self) -> Dict[HeaderField, int]:
+        """The carried header fields as a ``{HeaderField: value}`` dict.
+
+        A fresh dict per access — mutate the packet through :meth:`set`,
+        not through this view.
+        """
+        values = self._values
+        return {
+            FIELD_ORDER[index]: value
+            for index, value in enumerate(values)
+            if value is not None
+        }
+
     def get(self, field: HeaderField | str, default: int = 0) -> int:
         """Value of ``field`` (0 when the packet does not carry it)."""
-        return self.headers.get(HeaderField(field), default)
+        index = FIELD_INDEX.get(field)
+        if index is None:
+            index = FIELD_INDEX[HeaderField(field)]
+        value = self._values[index]
+        return default if value is None else value
 
     def set(self, field: HeaderField | str, value: int) -> None:
         """Set (rewrite) a header field in place."""
-        field = HeaderField(field)
-        FIELD_REGISTRY[field].validate(value)
-        self.headers[field] = value
+        index = FIELD_INDEX.get(field)
+        if index is None:
+            index = FIELD_INDEX[HeaderField(field)]
+        if not (isinstance(value, int) and 0 <= value <= FIELD_MAX_BY_INDEX[index]):
+            FIELD_REGISTRY[FIELD_ORDER[index]].validate(value)
+        self._values[index] = value
+
+    def header_values(self) -> List[Optional[int]]:
+        """The internal fixed-order value array (treat as read-only)."""
+        return self._values
 
     def copy(self) -> "Packet":
         """A copy with a new identity but the same headers, payload and trace.
 
         Switches copy packets before applying rewrite actions; the hop trace
         is carried over because the copy logically *is* the same packet
-        continuing through the network.
+        continuing through the network.  Header values were validated when
+        first set, so the copy clones the array without re-validating.
         """
-        clone = Packet(
-            dict(self.headers),
-            payload_size=self.payload_size,
-            flow_id=self.flow_id,
-            created_at=self.created_at,
-            sequence=self.sequence,
-            is_probe=self.is_probe,
-        )
-        clone.trace = list(self.trace)
+        clone = Packet.__new__(Packet)
+        clone.packet_id = next(_packet_ids)
+        clone._values = self._values.copy()
+        clone.payload_size = self.payload_size
+        clone.flow_id = self.flow_id
+        clone.created_at = self.created_at
+        clone.sequence = self.sequence
+        clone.is_probe = self.is_probe
+        clone.trace = self.trace.copy()
         return clone
+
+    @classmethod
+    def from_values(
+        cls,
+        values: List[Optional[int]],
+        payload_size: int = 100,
+        flow_id: Optional[str] = None,
+        created_at: float = 0.0,
+        sequence: int = 0,
+        is_probe: bool = False,
+    ) -> "Packet":
+        """Build a packet from a pre-validated fixed-order value array.
+
+        Fast path for the traffic generators; ``values`` must follow
+        :data:`~repro.packet.fields.FIELD_ORDER` and is owned by the packet
+        after the call.
+        """
+        packet = cls.__new__(cls)
+        packet.packet_id = next(_packet_ids)
+        packet._values = values
+        packet.payload_size = payload_size
+        packet.flow_id = flow_id
+        packet.created_at = created_at
+        packet.sequence = sequence
+        packet.is_probe = is_probe
+        packet.trace = []
+        return packet
 
     def items(self) -> Iterator:
         """Iterate over ``(field, value)`` pairs."""
@@ -115,6 +182,26 @@ class Packet:
         fields = ", ".join(f"{field.value}={value}" for field, value in sorted(
             self.headers.items(), key=lambda item: item[0].value))
         return f"<{kind} #{self.packet_id} flow={self.flow_id} {fields}>"
+
+
+#: Field indices used by :func:`make_ip_packet` (module-level constants keep
+#: the per-packet cost to plain list stores).
+_IDX_ETH_SRC = FIELD_INDEX[HeaderField.ETH_SRC]
+_IDX_ETH_DST = FIELD_INDEX[HeaderField.ETH_DST]
+_IDX_ETH_TYPE = FIELD_INDEX[HeaderField.ETH_TYPE]
+_IDX_VLAN_ID = FIELD_INDEX[HeaderField.VLAN_ID]
+_IDX_VLAN_PCP = FIELD_INDEX[HeaderField.VLAN_PCP]
+_IDX_IP_SRC = FIELD_INDEX[HeaderField.IP_SRC]
+_IDX_IP_DST = FIELD_INDEX[HeaderField.IP_DST]
+_IDX_IP_PROTO = FIELD_INDEX[HeaderField.IP_PROTO]
+_IDX_IP_TOS = FIELD_INDEX[HeaderField.IP_TOS]
+_IDX_TP_SRC = FIELD_INDEX[HeaderField.TP_SRC]
+_IDX_TP_DST = FIELD_INDEX[HeaderField.TP_DST]
+
+_MAX_VLAN_ID = FIELD_MAX_BY_INDEX[_IDX_VLAN_ID]
+_MAX_IP_PROTO = FIELD_MAX_BY_INDEX[_IDX_IP_PROTO]
+_MAX_IP_TOS = FIELD_MAX_BY_INDEX[_IDX_IP_TOS]
+_MAX_TP = FIELD_MAX_BY_INDEX[_IDX_TP_SRC]
 
 
 def make_ip_packet(
@@ -134,22 +221,30 @@ def make_ip_packet(
     sequence: int = 0,
 ) -> Packet:
     """Build a normal IPv4 data packet (used by the traffic generators)."""
-    headers = {
-        HeaderField.ETH_SRC: mac_to_int(eth_src),
-        HeaderField.ETH_DST: mac_to_int(eth_dst),
-        HeaderField.ETH_TYPE: ETH_TYPE_IP,
-        HeaderField.VLAN_ID: vlan_id,
-        HeaderField.VLAN_PCP: 0,
-        HeaderField.IP_SRC: ip_to_int(ip_src),
-        HeaderField.IP_DST: ip_to_int(ip_dst),
-        HeaderField.IP_PROTO: ip_proto,
-        HeaderField.IP_TOS: ip_tos,
-        HeaderField.TP_SRC: tp_src,
-        HeaderField.TP_DST: tp_dst,
-    }
-    return Packet(
-        headers,
-        payload_size=payload_size,
+    for value, limit, label in (
+        (vlan_id, _MAX_VLAN_ID, "vlan_id"),
+        (ip_proto, _MAX_IP_PROTO, "ip_proto"),
+        (ip_tos, _MAX_IP_TOS, "ip_tos"),
+        (tp_src, _MAX_TP, "tp_src"),
+        (tp_dst, _MAX_TP, "tp_dst"),
+    ):
+        if not (isinstance(value, int) and 0 <= value <= limit):
+            raise ValueError(f"{label} value {value!r} out of range 0..{limit}")
+    values: List[Optional[int]] = [None] * FIELD_COUNT
+    values[_IDX_ETH_SRC] = mac_to_int(eth_src)
+    values[_IDX_ETH_DST] = mac_to_int(eth_dst)
+    values[_IDX_ETH_TYPE] = ETH_TYPE_IP
+    values[_IDX_VLAN_ID] = vlan_id
+    values[_IDX_VLAN_PCP] = 0
+    values[_IDX_IP_SRC] = ip_to_int(ip_src)
+    values[_IDX_IP_DST] = ip_to_int(ip_dst)
+    values[_IDX_IP_PROTO] = ip_proto
+    values[_IDX_IP_TOS] = ip_tos
+    values[_IDX_TP_SRC] = tp_src
+    values[_IDX_TP_DST] = tp_dst
+    return Packet.from_values(
+        values,
+        payload_size=int(payload_size),
         flow_id=flow_id,
         created_at=created_at,
         sequence=sequence,

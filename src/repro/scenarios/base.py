@@ -23,7 +23,10 @@ from repro.controller.update_plan import UpdatePlan
 from repro.net.network import Network
 from repro.net.topology import Topology
 from repro.net.traffic import FlowSpec
-from repro.scenarios.generators import DEFAULT_HARDWARE_FRACTION, build_topology
+from repro.scenarios.generators import (
+    DEFAULT_HARDWARE_FRACTION,
+    build_topology_cached,
+)
 
 
 @dataclass
@@ -86,11 +89,16 @@ class Scenario:
 
     # -- protocol ------------------------------------------------------------
     def build_topology(self) -> Topology:
-        """The network the scenario runs on (default: the declared family)."""
+        """The network the scenario runs on (default: the declared family).
+
+        Generation is memoized per process: campaign workers sweeping
+        (technique × seed) grids over the same topology parameters reuse
+        one generated — read-only — :class:`Topology`.
+        """
         family = self.params.topology
         if family == "auto":
             family = self.default_topology
-        return build_topology(
+        return build_topology_cached(
             family,
             scale=self.params.scale,
             seed=self.params.seed,

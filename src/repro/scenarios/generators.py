@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import math
 import random
+from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.net.topology import (
@@ -335,3 +336,23 @@ def build_topology(
 
 #: Topology family names accepted by :func:`build_topology`.
 TOPOLOGY_FAMILIES = ("triangle", "linear", "fat-tree", "leaf-spine", "ring", "waxman")
+
+
+@lru_cache(maxsize=128)
+def build_topology_cached(
+    name: str,
+    scale: int = 1,
+    seed: int = 0,
+    hardware_fraction: float = DEFAULT_HARDWARE_FRACTION,
+) -> Topology:
+    """Memoized :func:`build_topology` (per-process, keyed by all params).
+
+    Campaign workers run many grid cells that differ only in technique or
+    traffic seed while sharing topology parameters; generation — especially
+    fat-trees and Waxman graphs — is pure and seeded, so each worker process
+    builds every distinct topology once.  The returned object is shared:
+    callers must treat it as read-only (the :class:`~repro.net.network.Network`
+    construction path does).
+    """
+    return build_topology(name, scale=scale, seed=seed,
+                          hardware_fraction=hardware_fraction)

@@ -4,15 +4,25 @@ The :class:`Simulator` keeps a priority queue of scheduled callbacks keyed by
 ``(time, sequence_number)`` so that events scheduled for the same instant run
 in FIFO order — a property the switch and network models rely on to keep
 packet and message ordering deterministic.
+
+The execution loop is the hottest code in the repository: an end-to-end
+experiment dispatches millions of tiny callbacks.  :meth:`Simulator.run`
+therefore inlines the stepping loop with locally-bound heap operations
+instead of calling :meth:`Simulator.step` per event, and the kernel pools
+the :class:`Timeout` objects backing numeric process sleeps
+(``yield interval``) so steady-state stepping allocates almost nothing.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, List, Optional, Tuple
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
 from repro.sim.events import Event, Timeout
 from repro.sim.process import Process
+
+#: Upper bound on pooled Timeout objects kept for reuse.
+_TIMEOUT_POOL_LIMIT = 256
 
 
 class StopSimulation(Exception):
@@ -27,13 +37,33 @@ class Simulator:
     display avoids unit mistakes).
     """
 
+    __slots__ = (
+        "_now",
+        "_heap",
+        "_sequence",
+        "_active_process",
+        "_running",
+        "_until",
+        "_timeout_pool",
+        "metadata",
+        "steps_executed",
+    )
+
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
         self._heap: List[Tuple[float, int, Callable, tuple]] = []
         self._sequence = 0
         self._active_process: Optional[Process] = None
         self._running = False
+        #: The ``until`` bound of the active :meth:`run` call (``None`` when
+        #: unbounded or idle); inline fast-forward paths (link packet trains)
+        #: consult it so they never advance the clock past the stop time.
+        self._until: Optional[float] = None
+        self._timeout_pool: List[Timeout] = []
         self.metadata: dict = {}
+        #: Total callbacks executed over the simulator's lifetime; benchmark
+        #: instrumentation (events/second).
+        self.steps_executed = 0
 
     # -- time ---------------------------------------------------------------
     @property
@@ -46,8 +76,43 @@ class Simulator:
         """Run ``callback(*args)`` after ``delay`` simulated seconds."""
         if delay < 0:
             raise ValueError(f"cannot schedule in the past (delay={delay})")
-        heapq.heappush(self._heap, (self._now + delay, self._sequence, callback, args))
-        self._sequence += 1
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        heapq.heappush(self._heap, (self._now + delay, sequence, callback, args))
+
+    def schedule_many(
+        self, items: Iterable[Tuple]
+    ) -> int:
+        """Bulk-schedule ``(delay, callback, *args)`` tuples; returns the count.
+
+        Equivalent to calling :meth:`schedule_callback` per item (FIFO order
+        among equal-delay items is preserved) but the heap invariant is
+        restored once: large batches are appended and re-heapified (O(n))
+        instead of pushed one by one (O(n log n)) — the cheap way to seed a
+        simulation with thousands of initial events.
+        """
+        heap = self._heap
+        now = self._now
+        sequence = self._sequence
+        entries = []
+        append = entries.append
+        for item in items:
+            delay = item[0]
+            if delay < 0:
+                raise ValueError(f"cannot schedule in the past (delay={delay})")
+            append((now + delay, sequence, item[1], item[2:]))
+            sequence += 1
+        if not entries:
+            return 0
+        self._sequence = sequence
+        if len(heap) > 4 * len(entries):
+            push = heapq.heappush
+            for entry in entries:
+                push(heap, entry)
+        else:
+            heap.extend(entries)
+            heapq.heapify(heap)
+        return len(entries)
 
     def schedule_event(self, delay: float, value: Any = None, name: str = "") -> Event:
         """Create an event that succeeds with ``value`` after ``delay`` seconds."""
@@ -71,6 +136,34 @@ class Simulator:
         timeout.sim = self
         self.schedule_callback(timeout.delay, self._trigger_if_pending, timeout, timeout.value)
 
+    # -- pooled timeouts --------------------------------------------------------
+    def _schedule_pooled_resume(self, delay: float, callback: Callable[[Event], None]) -> None:
+        """Schedule a pooled :class:`Timeout` that resumes ``callback``.
+
+        Backs numeric process sleeps (``yield 0.004``).  The Timeout object
+        never escapes to user code, so after it fires it is reset and kept
+        for reuse instead of being garbage.
+        """
+        pool = self._timeout_pool
+        if pool:
+            timeout = pool.pop()
+            timeout.delay = delay
+        else:
+            timeout = Timeout(delay)
+        timeout.sim = self
+        timeout._callbacks.append(callback)
+        self.schedule_callback(delay, self._fire_pooled_timeout, timeout)
+
+    def _fire_pooled_timeout(self, timeout: Timeout) -> None:
+        timeout.succeed(None)
+        pool = self._timeout_pool
+        if len(pool) < _TIMEOUT_POOL_LIMIT:
+            timeout._triggered = False
+            timeout._ok = True
+            timeout._value = None
+            timeout._callbacks.clear()
+            pool.append(timeout)
+
     def event(self, name: str = "") -> Event:
         """Create an untriggered event bound to this simulator."""
         event = Event(name=name)
@@ -91,13 +184,17 @@ class Simulator:
 
     # -- execution ---------------------------------------------------------------
     def step(self) -> bool:
-        """Execute the next scheduled callback.  Returns ``False`` if none are left."""
+        """Execute the next scheduled callback.  Returns ``False`` if none are left.
+
+        Single-step API for tests and debugging; :meth:`run` inlines this.
+        """
         if not self._heap:
             return False
         time, _seq, callback, args = heapq.heappop(self._heap)
         if time < self._now - 1e-12:
             raise RuntimeError("simulation time went backwards (kernel bug)")
         self._now = max(self._now, time)
+        self.steps_executed += 1
         callback(*args)
         return True
 
@@ -108,26 +205,55 @@ class Simulator:
         ----------
         until:
             Absolute simulated time at which to stop.  Events scheduled at
-            exactly ``until`` are still executed.
+            exactly ``until`` are still executed, and the clock always ends
+            at ``until`` — even when the heap drains earlier, so idle-tail
+            durations are reported correctly.
         max_steps:
             Safety valve for tests; raises :class:`RuntimeError` when exceeded.
         """
+        heap = self._heap
+        pop = heapq.heappop
         self._running = True
+        self._until = until
         steps = 0
         try:
-            while self._heap:
-                if until is not None and self._heap[0][0] > until:
+            try:
+                while heap:
+                    time = heap[0][0]
+                    if until is not None and time > until:
+                        self._now = until
+                        return
+                    if max_steps is not None and steps >= max_steps:
+                        raise RuntimeError(
+                            f"simulation exceeded max_steps={max_steps}"
+                        )
+                    time, _seq, callback, args = pop(heap)
+                    if time > self._now:
+                        self._now = time
+                    elif time < self._now - 1e-12:
+                        raise RuntimeError(
+                            "simulation time went backwards (kernel bug)"
+                        )
+                    callback(*args)
+                    steps += 1
+                # Heap drained before the stop time: idle out the tail.
+                if until is not None and until > self._now:
                     self._now = until
-                    break
-                if max_steps is not None and steps >= max_steps:
-                    raise RuntimeError(f"simulation exceeded max_steps={max_steps}")
-                try:
-                    self.step()
-                except StopSimulation:
-                    break
-                steps += 1
+            except StopSimulation:
+                pass
         finally:
+            self.steps_executed += steps
             self._running = False
+            self._until = None
+
+    def _advance_inline(self, time: float) -> None:
+        """Advance the clock between heap events (link packet trains).
+
+        Callers must guarantee ``self._now <= time`` and that ``time``
+        precedes both the next heap event and any active ``run(until=...)``
+        bound — the train flush in :mod:`repro.net.link` checks exactly that.
+        """
+        self._now = time
 
     def peek(self) -> Optional[float]:
         """Time of the next scheduled callback, or ``None`` if the heap is empty."""

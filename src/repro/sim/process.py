@@ -117,6 +117,13 @@ class Process(Event):
             # Cooperative yield: resume on the next kernel step at the same time.
             self.sim.schedule_callback(0.0, self._step, None, None)
             return
+        cls = type(yielded)
+        if cls is float or cls is int:
+            # Numeric sleep — the hot path of every traffic generator.  The
+            # backing Timeout never escapes to user code, so the kernel can
+            # recycle it (zero steady-state allocation).
+            self.sim._schedule_pooled_resume(float(yielded), self._resume_with_value)
+            return
         if isinstance(yielded, (int, float)) and not isinstance(yielded, bool):
             yielded = Timeout(float(yielded))
         if isinstance(yielded, Timeout) and not yielded.triggered:

@@ -10,6 +10,7 @@ instance owned by the experiment configuration rather than the global
 from __future__ import annotations
 
 import random
+import zlib
 from typing import Iterable, List, Sequence, TypeVar
 
 T = TypeVar("T")
@@ -75,7 +76,11 @@ class SeededRandom:
         statistically independent while still fully determined by the
         top-level experiment seed.
         """
-        child_seed = (hash((self.seed, label)) & 0x7FFFFFFF) or 1
+        # A process-stable hash: ``hash()`` on strings is randomized per
+        # interpreter (PYTHONHASHSEED), which silently made every forked
+        # generator — switch jitter, traffic offsets — vary run to run.
+        child_seed = (zlib.crc32(f"{self.seed}:{label}".encode("utf-8"))
+                      & 0x7FFFFFFF) or 1
         return SeededRandom(child_seed)
 
 

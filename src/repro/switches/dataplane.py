@@ -20,7 +20,14 @@ from repro.openflow.actions import apply_actions
 from repro.openflow.constants import CONTROLLER_PORT
 from repro.openflow.flowtable import FlowEntry, FlowTable
 from repro.openflow.messages import FlowMod
+from repro.packet.fields import FIELD_INDEX, HeaderField
 from repro.packet.packet import Packet
+
+#: Array index of ``in_port`` in a packet's header value array.
+_IN_PORT_INDEX = FIELD_INDEX[HeaderField.IN_PORT]
+
+#: Cache-miss sentinel (``None`` is a valid cached value: a table miss).
+_MISS = object()
 
 
 @dataclass
@@ -71,9 +78,14 @@ class DataPlane:
 
     # -- packet processing --------------------------------------------------------
     def _cache_key(self, packet: Packet, in_port: int) -> Tuple:
-        return (in_port,) + tuple(sorted(
-            (field.value, value) for field, value in packet.headers.items()
-        ))
+        """Full-header cache key: the fixed-order value array with ``in_port``.
+
+        Field order is static (:data:`~repro.packet.fields.FIELD_ORDER`), so
+        no sorting is needed — the array is already canonical.
+        """
+        key = packet._values.copy()
+        key[_IN_PORT_INDEX] = in_port
+        return tuple(key)
 
     def process_packet(self, packet: Packet, in_port: int) -> ForwardingResult:
         """Classify ``packet`` and compute its forwarding result.
@@ -83,12 +95,9 @@ class DataPlane:
         """
         self.packets_processed += 1
         key = self._cache_key(packet, in_port)
-        if key in self._lookup_cache:
-            entry = self._lookup_cache[key]
-        else:
-            lookup_packet = packet.copy()
-            lookup_packet.set("in_port", in_port)
-            entry = self.table.lookup(lookup_packet)
+        entry = self._lookup_cache.get(key, _MISS)
+        if entry is _MISS:
+            entry = self.table.lookup_values(list(key))
             self._lookup_cache[key] = entry
 
         if entry is None:

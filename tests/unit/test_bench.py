@@ -1,0 +1,101 @@
+"""Unit tests for the benchmark harness, suite registry and comparison."""
+
+import json
+
+from repro.bench.compare import compare_results, load_baseline
+from repro.bench.harness import BenchResult, BenchSpec, run_spec, run_suite
+from repro.bench.suite import BENCHMARKS, benchmark_names
+
+
+def _result(name, wall, normalized=None, digest=None):
+    return BenchResult(
+        name=name,
+        wall_s=wall,
+        normalized=normalized,
+        meta={"digest": digest} if digest else {},
+    )
+
+
+def test_run_spec_measures_wall_events_and_rss():
+    spec = BenchSpec("toy", lambda scale: {"events": 1000, "extra": scale})
+    result = run_spec(spec, "quick")
+    assert result.name == "toy"
+    assert result.wall_s >= 0
+    assert result.events == 1000
+    assert result.events_per_sec > 0
+    assert result.peak_rss_kb > 0
+    assert result.meta == {"extra": "quick"}
+
+
+def test_run_suite_normalizes_against_reference():
+    specs = [
+        BenchSpec("work", lambda scale: {"events": 10}),
+        BenchSpec("ref", lambda scale: {"events": 10}, is_reference=True),
+    ]
+    results = run_suite(specs, scale="quick")
+    by_name = {result.name: result for result in results}
+    assert by_name["ref"].normalized == 1.0
+    assert by_name["work"].normalized is not None
+
+
+def test_compare_flags_regressions_beyond_threshold():
+    baseline = [_result("a", 1.0, normalized=1.0).as_dict(),
+                _result("b", 1.0, normalized=1.0).as_dict()]
+    current = [_result("a", 1.0, normalized=1.1),   # +10%: within threshold
+               _result("b", 1.0, normalized=1.5)]   # +50%: regression
+    comparison = compare_results(current, baseline, threshold=0.25)
+    assert [delta.name for delta in comparison.regressions] == ["b"]
+    assert not comparison.ok
+
+
+def test_compare_reports_aggregate_speedup():
+    baseline = [_result("a", 1.0, normalized=4.0).as_dict()]
+    current = [_result("a", 1.0, normalized=1.0)]
+    comparison = compare_results(current, baseline)
+    assert comparison.ok
+    assert comparison.aggregate_speedup == 4.0
+    assert "4.00x" in comparison.render()
+
+
+def test_compare_detects_digest_changes():
+    baseline = [_result("a", 1.0, normalized=1.0, digest="aaaa").as_dict()]
+    current = [_result("a", 1.0, normalized=1.0, digest="bbbb")]
+    comparison = compare_results(current, baseline)
+    assert [delta.name for delta in comparison.digest_changes] == ["a"]
+    assert comparison.ok  # digest changes warn, they are not regressions
+
+
+def test_compare_ignores_unmatched_benchmarks():
+    baseline = [_result("gone", 1.0, normalized=1.0).as_dict()]
+    current = [_result("new", 1.0, normalized=1.0)]
+    comparison = compare_results(current, baseline)
+    assert comparison.ok
+    assert sorted(comparison.unmatched) == ["gone", "new"]
+
+
+def test_load_baseline_roundtrip(tmp_path):
+    path = tmp_path / "BASELINE.json"
+    payload = {"quick": {"results": [_result("a", 0.5).as_dict()]}}
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    entries = load_baseline(path, "quick")
+    assert entries and entries[0]["name"] == "a"
+    assert load_baseline(path, "full") is None
+    assert load_baseline(tmp_path / "missing.json", "quick") is None
+
+
+def test_suite_registry_has_reference_and_unique_names():
+    names = benchmark_names()
+    assert len(names) == len(set(names))
+    assert sum(spec.is_reference for spec in BENCHMARKS) == 1
+    assert {"kernel-steps", "flowtable-lookup", "fig7-probing",
+            "scenario-migration", "microbench-packet-out"} <= set(names)
+
+
+def test_committed_baseline_matches_registry():
+    from repro.bench.__main__ import DEFAULT_BASELINE
+
+    assert DEFAULT_BASELINE.exists(), "benchmarks/BASELINE.json must be committed"
+    for scale in ("quick", "full"):
+        entries = load_baseline(DEFAULT_BASELINE, scale)
+        assert entries, f"baseline missing {scale} section"
+        assert {entry["name"] for entry in entries} == set(benchmark_names())
