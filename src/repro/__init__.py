@@ -37,6 +37,7 @@ Quickstart::
 from repro.core import RumConfig, RumLayer, ReliableBarrierLayer, config_for_technique
 from repro.controller import Controller
 from repro.net import Network, triangle_topology
+from repro.session import RunRecord, SessionSpec, run_session
 from repro.sim import Simulator
 
 __version__ = "1.0.0"
@@ -47,8 +48,11 @@ __all__ = [
     "ReliableBarrierLayer",
     "RumConfig",
     "RumLayer",
+    "RunRecord",
+    "SessionSpec",
     "Simulator",
     "config_for_technique",
+    "run_session",
     "triangle_topology",
     "__version__",
 ]

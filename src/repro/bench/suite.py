@@ -176,6 +176,11 @@ def bench_fig7_probing(scale: str) -> Dict[str, object]:
         "digest": _digest(payload),
         "dropped": {name: res.dropped_packets
                     for name, res in sorted(result.results.items())},
+        # Unified RunRecord content hashes, per configuration: the CI bench
+        # job asserts these are present (sessions end to end) and unchanged
+        # runs reproduce them exactly.
+        "run_digests": {name: res.digest()
+                        for name, res in sorted(result.results.items())},
     }
 
 
@@ -201,6 +206,7 @@ def bench_scenario_migration(scale: str) -> Dict[str, object]:
         "digest": _digest(payload),
         "dropped": result.dropped_packets,
         "completed": result.completed,
+        "run_digest": result.digest(),
     }
 
 

@@ -14,10 +14,9 @@ import hashlib
 import itertools
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
-from repro.core.config import ALL_TECHNIQUES
-from repro.experiments.common import NO_WAIT
+from repro.core.techniques.registry import available_techniques
 from repro.scenarios.base import ScenarioParams, available_scenarios
 
 
@@ -96,7 +95,7 @@ class CampaignSpec:
             raise ValueError(
                 f"unknown scenario(s) {unknown}; available: {sorted(known)}"
             )
-        valid_techniques = set(ALL_TECHNIQUES) | {NO_WAIT}
+        valid_techniques = set(available_techniques())
         bad = [name for name in self.techniques if name not in valid_techniques]
         if bad:
             raise ValueError(

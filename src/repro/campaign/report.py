@@ -1,9 +1,13 @@
 """Aggregation of campaign result files.
 
-Feeds the JSON-lines records produced by the runner into the existing
-plain-text reporting machinery of :mod:`repro.analysis.report`: one
-per-(scenario, technique) summary table over all cells, plus a violation
-table for the scenarios that define safety metrics.
+Campaign records store the unified flat keys of
+:data:`repro.session.record.SUMMARY_KEYS` (``RunRecord.summary()`` output)
+— one schema shared with every other run path — and this module feeds them
+into the plain-text reporting machinery of :mod:`repro.analysis.report`:
+one per-(scenario, technique) summary table over all cells, plus a
+violation table for the scenarios that define safety metrics.  The
+``digests`` column counts distinct result digests per group: for a grid
+with one seed per group it doubles as a determinism check.
 """
 
 from __future__ import annotations
@@ -14,6 +18,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.report import format_table
 from repro.campaign.runner import load_records
+from repro.session.record import SUMMARY_KEYS  # noqa: F401 - the record schema
 
 #: Scenario metric keys that count safety violations (summed per group).
 VIOLATION_METRICS = (
@@ -41,6 +46,7 @@ def aggregate(records: List[Dict[str, object]]) -> List[List[object]]:
         update_times = [r["mean_update_time"] for r in group
                         if r.get("mean_update_time") is not None]
         dropped = [r.get("dropped_packets", 0) for r in group]
+        digests = {r["digest"] for r in group if r.get("digest")}
         violations = 0
         for record in group:
             metrics = record.get("metrics") or {}
@@ -53,6 +59,7 @@ def aggregate(records: List[Dict[str, object]]) -> List[List[object]]:
             _mean(update_times) if update_times else "-",
             sum(dropped),
             violations,
+            len(digests),
         ])
     return rows
 
@@ -82,7 +89,7 @@ def render_report(results_path: Path) -> str:
     sections = [
         format_table(
             ["scenario", "technique", "cells", "mean duration [s]",
-             "mean update time [s]", "dropped", "violations"],
+             "mean update time [s]", "dropped", "violations", "digests"],
             aggregate(records),
             title=f"Campaign report — {results_path} ({len(records)} records)",
         )

@@ -26,6 +26,11 @@ from repro.scenarios.engine import run_scenario
 def run_cell(cell: CampaignCell) -> Dict[str, object]:
     """Run one grid cell; the unit of work shipped to worker processes.
 
+    The cell runs through the unified session API
+    (:meth:`~repro.session.spec.SessionSpec.run` via the scenario adapter)
+    and its record carries the flat :meth:`~repro.session.record.RunRecord.summary`
+    keys plus the session's canonical spec encoding under ``"session"``.
+
     Never raises: failures come back as ``status: "error"`` records so one
     broken cell cannot take down the campaign (and is retried on resume).
     """
@@ -37,7 +42,8 @@ def run_cell(cell: CampaignCell) -> Dict[str, object]:
     try:
         result = run_scenario(cell.scenario, cell.technique,
                               cell.scenario_params())
-        record.update(result.as_dict())
+        record.update(result.summary())
+        record["session"] = dict(result.spec)
         record["status"] = "ok" if result.completed else "incomplete"
     except Exception as error:  # noqa: BLE001 - isolate worker failures
         record["status"] = "error"

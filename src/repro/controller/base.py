@@ -15,7 +15,7 @@ cannot tell, which is the point of RUM's transparency).  It provides:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Callable, Dict, List, Optional, Tuple
 

@@ -22,8 +22,8 @@ Two update strategies are provided:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
 
 from repro.controller.routing import flow_match
 from repro.controller.update_plan import UpdateOperation, UpdatePlan
@@ -31,7 +31,6 @@ from repro.net.network import Network
 from repro.net.traffic import FlowSpec
 from repro.openflow.actions import OutputAction, SetFieldAction
 from repro.openflow.constants import FlowModCommand
-from repro.openflow.match import Match
 from repro.openflow.messages import FlowMod
 from repro.packet.fields import HeaderField
 

@@ -21,7 +21,7 @@ RUM.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.controller.update_plan import UpdatePlan
@@ -29,7 +29,6 @@ from repro.net.network import Network
 from repro.net.topology import Topology
 from repro.net.traffic import FlowSpec
 from repro.openflow.actions import OutputAction
-from repro.openflow.constants import FlowModCommand
 from repro.openflow.match import Match
 from repro.openflow.messages import FlowMod
 from repro.packet.fields import IP_PROTO_TCP

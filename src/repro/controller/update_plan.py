@@ -26,7 +26,7 @@ from typing import Dict, List, Optional, Set
 
 import networkx as nx
 
-from repro.controller.base import AckMode, Controller, RuleAck
+from repro.controller.base import AckMode, Controller
 from repro.openflow.messages import FlowMod
 from repro.sim.events import Event
 from repro.sim.kernel import Simulator
@@ -199,13 +199,11 @@ class PlanExecutor:
 
     # -- internals --------------------------------------------------------------
     def _pump(self) -> None:
-        issued_any = False
         while self._ready and len(self._in_flight) < self.max_unconfirmed:
             op_id = self._ready.popleft()
             if op_id in self._issued:
                 continue
             self._issue(self.plan.operations[op_id])
-            issued_any = True
         # In barrier mode an idle moment with unbarriered FlowMods means the
         # outstanding acks can never resolve; flush with a barrier.
         if self.controller.ack_mode == AckMode.BARRIER:

@@ -35,9 +35,17 @@ from repro.core.techniques import (
     AdaptiveTimeoutTechnique,
     BarrierBaselineTechnique,
     GeneralProbingTechnique,
+    NO_WAIT_TECHNIQUE,
+    RegisteredTechnique,
     SequentialProbingTechnique,
     StaticTimeoutTechnique,
+    TECHNIQUE_NO_WAIT,
+    available_techniques,
     create_technique,
+    get_technique,
+    register_technique,
+    register_technique_class,
+    resolve_technique,
 )
 
 __all__ = [
@@ -46,9 +54,11 @@ __all__ = [
     "AdaptiveTimeoutTechnique",
     "BarrierBaselineTechnique",
     "GeneralProbingTechnique",
+    "NO_WAIT_TECHNIQUE",
     "PendingRule",
     "PendingRuleTracker",
     "ProxyLayer",
+    "RegisteredTechnique",
     "ReliableBarrierLayer",
     "RumConfig",
     "RumLayer",
@@ -57,12 +67,18 @@ __all__ = [
     "TECHNIQUE_ADAPTIVE",
     "TECHNIQUE_BARRIER",
     "TECHNIQUE_GENERAL",
+    "TECHNIQUE_NO_WAIT",
     "TECHNIQUE_SEQUENTIAL",
     "TECHNIQUE_TIMEOUT",
     "TopologyView",
     "VersionAllocator",
     "VersionSpaceExhausted",
+    "available_techniques",
     "chain_proxies",
     "config_for_technique",
     "create_technique",
+    "get_technique",
+    "register_technique",
+    "register_technique_class",
+    "resolve_technique",
 ]

@@ -22,7 +22,7 @@ fine-grained acknowledgments directly.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Set
 
 from repro.core.proxy import ProxyLayer

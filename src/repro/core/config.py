@@ -2,14 +2,15 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, Optional
+from dataclasses import dataclass, replace
 
 from repro.packet.fields import FIELD_REGISTRY, HeaderField
 
 
-#: Names of the acknowledgment techniques, as used throughout experiments,
-#: benchmarks and the public API.
+#: Names of the built-in RUM acknowledgment techniques.  The authoritative
+#: list — including any techniques registered at runtime — lives in the
+#: registry (:func:`repro.core.techniques.registry.available_techniques`);
+#: these constants are kept for the public API and existing call sites.
 TECHNIQUE_BARRIER = "barrier"
 TECHNIQUE_TIMEOUT = "timeout"
 TECHNIQUE_ADAPTIVE = "adaptive"
@@ -23,6 +24,15 @@ ALL_TECHNIQUES = (
     TECHNIQUE_SEQUENTIAL,
     TECHNIQUE_GENERAL,
 )
+
+
+def _known_rum_techniques():
+    """Registered RUM-capable technique names (import deferred: the registry
+    package imports this module for type information)."""
+    import repro.core.techniques  # noqa: F401 - ensure builtins are registered
+    from repro.core.techniques.registry import rum_technique_names
+
+    return rum_technique_names()
 
 
 @dataclass
@@ -89,9 +99,10 @@ class RumConfig:
 
     def validated(self) -> "RumConfig":
         """Return self after sanity-checking the parameters."""
-        if self.technique not in ALL_TECHNIQUES:
+        known = _known_rum_techniques()
+        if self.technique not in known:
             raise ValueError(
-                f"unknown technique {self.technique!r}; expected one of {ALL_TECHNIQUES}"
+                f"unknown technique {self.technique!r}; expected one of {tuple(known)}"
             )
         if self.timeout < 0 or self.fallback_timeout < 0:
             raise ValueError("timeouts must be non-negative")
@@ -114,5 +125,25 @@ class RumConfig:
 
 
 def config_for_technique(technique: str, **overrides) -> RumConfig:
-    """Convenience constructor: a validated config for the named technique."""
-    return RumConfig(technique=technique, **overrides).validated()
+    """A validated config for the named technique.
+
+    The technique's own :attr:`RegisteredTechnique.config_defaults` are
+    applied first, then ``overrides`` — so e.g. ``adaptive`` always assumes
+    250 modifications/s unless the caller says otherwise, no matter which
+    entry point (session, scenario engine, campaign) built the config.
+    """
+    import repro.core.techniques  # noqa: F401 - ensure builtins are registered
+    from repro.core.techniques.registry import get_technique
+
+    try:
+        entry = get_technique(technique)
+    except KeyError:
+        # An unknown name still fails RumConfig validation with the
+        # historical ValueError (not KeyError) contract.
+        return RumConfig(technique=technique, **overrides).validated()
+    config = entry.rum_config(**overrides)
+    if config is None:
+        raise ValueError(
+            f"technique {technique!r} does not use a RUM layer and has no config"
+        )
+    return config

@@ -17,7 +17,7 @@ inject messages.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List
 
 from repro.openflow.connection import Connection, ConnectionEndpoint
 from repro.openflow.messages import OFMessage

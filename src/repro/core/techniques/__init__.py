@@ -18,10 +18,31 @@ Technique               When a modification is confirmed
                         forwarding probe packets in the data plane
 ``general``             when a per-rule probe packet is seen taking the path the rule
                         prescribes
+``no-wait``             immediately (null technique: no RUM proxy, no consistency —
+                        the Figure 7 lower bound)
 ======================  =============================================================
+
+Techniques are first-class registry entries
+(:mod:`repro.core.techniques.registry`): each module registers its class
+with :func:`register_technique_class`, and the registry entry owns the
+technique's configuration defaults and wiring behaviour.  Experiment
+sessions, scenarios, and campaigns all resolve techniques by name through
+the registry, so adding one is a single registration in this package.
 """
 
 from repro.core.techniques.base import AckTechnique, create_technique
+from repro.core.techniques.registry import (
+    NO_WAIT_TECHNIQUE,
+    TECHNIQUE_NO_WAIT,
+    RegisteredTechnique,
+    available_techniques,
+    get_technique,
+    register_technique,
+    register_technique_class,
+    resolve_technique,
+    rum_technique_names,
+    unregister_technique,
+)
 from repro.core.techniques.barrier_baseline import BarrierBaselineTechnique
 from repro.core.techniques.static_timeout import StaticTimeoutTechnique
 from repro.core.techniques.adaptive import AdaptiveTimeoutTechnique
@@ -33,7 +54,17 @@ __all__ = [
     "AdaptiveTimeoutTechnique",
     "BarrierBaselineTechnique",
     "GeneralProbingTechnique",
+    "NO_WAIT_TECHNIQUE",
+    "RegisteredTechnique",
     "SequentialProbingTechnique",
     "StaticTimeoutTechnique",
+    "TECHNIQUE_NO_WAIT",
+    "available_techniques",
     "create_technique",
+    "get_technique",
+    "register_technique",
+    "register_technique_class",
+    "resolve_technique",
+    "rum_technique_names",
+    "unregister_technique",
 ]

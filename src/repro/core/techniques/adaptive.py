@@ -17,12 +17,18 @@ from typing import Dict
 
 from repro.core.pending import PendingRule
 from repro.core.techniques.base import AckTechnique
+from repro.core.techniques.registry import register_technique_class
 
 
+@register_technique_class
 class AdaptiveTimeoutTechnique(AckTechnique):
     """Confirm modifications at model-predicted data-plane apply times."""
 
     name = "adaptive"
+    #: The paper's end-to-end experiments assume the hardware switch applies
+    #: 250 modifications per second; this default is owned here (not by the
+    #: experiment harness) so session, scenario and campaign runs all agree.
+    config_defaults = {"assumed_rate": 250.0}
 
     def __init__(self, layer) -> None:
         super().__init__(layer)

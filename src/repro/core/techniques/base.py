@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING
 
 from repro.core.pending import PendingRule
 from repro.openflow.messages import OFMessage
@@ -22,6 +22,10 @@ class AckTechnique:
 
     #: Name used in configuration and reports.
     name = "base"
+    #: :class:`~repro.core.config.RumConfig` field defaults owned by this
+    #: technique, applied (under caller overrides) by the registry whenever a
+    #: config is built for it by name.
+    config_defaults: dict = {}
 
     def __init__(self, layer: "RumLayer") -> None:
         self.layer = layer
@@ -57,21 +61,12 @@ class AckTechnique:
 
 
 def create_technique(name: str, layer: "RumLayer") -> AckTechnique:
-    """Instantiate the technique called ``name`` on ``layer``."""
-    from repro.core import config as config_module
-    from repro.core.techniques.adaptive import AdaptiveTimeoutTechnique
-    from repro.core.techniques.barrier_baseline import BarrierBaselineTechnique
-    from repro.core.techniques.general import GeneralProbingTechnique
-    from repro.core.techniques.sequential import SequentialProbingTechnique
-    from repro.core.techniques.static_timeout import StaticTimeoutTechnique
+    """Instantiate the registered technique called ``name`` on ``layer``."""
+    import repro.core.techniques  # noqa: F401 - ensure builtins are registered
+    from repro.core.techniques.registry import get_technique
 
-    factories = {
-        config_module.TECHNIQUE_BARRIER: BarrierBaselineTechnique,
-        config_module.TECHNIQUE_TIMEOUT: StaticTimeoutTechnique,
-        config_module.TECHNIQUE_ADAPTIVE: AdaptiveTimeoutTechnique,
-        config_module.TECHNIQUE_SEQUENTIAL: SequentialProbingTechnique,
-        config_module.TECHNIQUE_GENERAL: GeneralProbingTechnique,
-    }
-    if name not in factories:
-        raise ValueError(f"unknown acknowledgment technique {name!r}")
-    return factories[name](layer)
+    try:
+        entry = get_technique(name)
+    except KeyError:
+        raise ValueError(f"unknown acknowledgment technique {name!r}") from None
+    return entry.instantiate(layer)

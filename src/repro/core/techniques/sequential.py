@@ -19,10 +19,11 @@ modification of a batch reached the data plane to confirm the whole batch:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.core.pending import PendingRule
 from repro.core.techniques.base import AckTechnique
+from repro.core.techniques.registry import register_technique_class
 from repro.core.versioning import VersionAllocator, VersionSpaceExhausted
 from repro.openflow.actions import OutputAction
 from repro.openflow.messages import OFMessage, PacketIn, PacketOut
@@ -50,6 +51,7 @@ class _SwitchProbeState:
     highest_covered_sequence: int = 0
 
 
+@register_technique_class
 class SequentialProbingTechnique(AckTechnique):
     """Confirm batches of modifications with a versioned probe rule."""
 

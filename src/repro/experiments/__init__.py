@@ -28,6 +28,8 @@ from repro.experiments.common import (
     RuleInstallParams,
     RuleInstallResult,
     build_control_stack,
+    migration_session,
+    rule_install_session,
     run_path_migration,
     run_rule_install,
 )
@@ -40,6 +42,8 @@ __all__ = [
     "RuleInstallParams",
     "RuleInstallResult",
     "build_control_stack",
+    "migration_session",
+    "rule_install_session",
     "run_path_migration",
     "run_rule_install",
 ]

@@ -1,4 +1,10 @@
-"""Shared experiment engines.
+"""Shared experiment engines — now thin adapters over :mod:`repro.session`.
+
+.. note::
+   New code should build :class:`~repro.session.spec.SessionSpec` objects
+   (directly or via :func:`migration_session` / :func:`rule_install_session`)
+   and call ``spec.run()``; the functions here keep the historical signatures
+   and run through exactly that API.
 
 Two engines cover the whole evaluation:
 
@@ -7,59 +13,73 @@ Two engines cover the whole evaluation:
   migrated from an old path to a new path with a consistent update, while
   constant-rate traffic measures packet loss and switchover times at the
   destination.  The topology and paths come from a :class:`MigrationSpec`;
-  the default is the paper's triangle (S1-S3 → S1-S2-S3), but any topology —
-  including the generated fat-trees and leaf-spines of
-  :mod:`repro.scenarios.generators` — can be migrated the same way.
+  the default is the paper's triangle (S1-S3 → S1-S2-S3).
 * :func:`run_rule_install` — the low-level benchmark of Section 5.2
   (Figure 8 and Table 1): a controller performs R rule modifications on the
   hardware switch with at most K unconfirmed at any time, and the harness
   correlates controller-visible acknowledgment times with data-plane
   activation times.
 
-The module also provides :func:`build_control_stack`, the
-RUM-proxy/controller wiring shared between these engines and the scenario
-engine of :mod:`repro.scenarios.engine`.
+Both return the unified :class:`~repro.session.record.RunRecord`; the names
+``EndToEndResult`` and ``RuleInstallResult`` are deprecated aliases of it.
 """
 
 from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
-from repro.analysis.activation import ActivationDelays, activation_delays
-from repro.analysis.flowstats import (
-    FlowUpdateStats,
-    flow_update_stats,
-    mean_update_time,
-    total_dropped,
-    update_completion_time,
-)
-from repro.controller.base import AckMode, Controller
 from repro.controller.consistent import ConsistentPathMigration
 from repro.controller.routing import (
     first_distinct_switch,
     install_path_rules,
     path_flowmods,
 )
-from repro.controller.update_plan import PlanExecutor, UpdatePlan
-from repro.core.barrier_layer import ReliableBarrierLayer
-from repro.core.config import RumConfig, config_for_technique
-from repro.core.proxy import chain_proxies
-from repro.core.rum import RumLayer
+from repro.controller.update_plan import UpdatePlan
+from repro.core.techniques.registry import TECHNIQUE_NO_WAIT
 from repro.net.network import Network
 from repro.net.topology import Topology, triangle_topology
-from repro.net.traffic import TrafficGenerator, flows_between
+from repro.net.traffic import FlowSpec, flows_between
 from repro.openflow.actions import DropAction, OutputAction
 from repro.openflow.match import Match
 from repro.openflow.messages import FlowMod
 from repro.packet.addresses import int_to_ip, ip_to_int
-from repro.sim.kernel import Simulator
-from repro.sim.rng import SeededRandom
-from repro.switches.profiles import SwitchProfile, hp5406zl_profile, reordering_switch_profile
+from repro.session.record import RunRecord
+from repro.session.spec import (
+    ActivationProbe,
+    SessionKnobs,
+    SessionSpec,
+    StackSpec,
+    Workload,
+)
+from repro.session.stack import ControlStack, build_control_stack
+from repro.switches.profiles import SwitchProfile, hp5406zl_profile
 
-#: Name used for the "issue everything at once" lower bound of Figure 7.
-NO_WAIT = "no-wait"
+__all__ = [
+    "ControlStack",
+    "EndToEndParams",
+    "EndToEndResult",
+    "MigrationSpec",
+    "NO_WAIT",
+    "RuleInstallParams",
+    "RuleInstallResult",
+    "build_control_stack",
+    "full_scale",
+    "migration_session",
+    "rule_install_session",
+    "run_path_migration",
+    "run_rule_install",
+]
+
+#: Name of the "issue everything at once" lower bound of Figure 7 — a real
+#: registered technique now (see :mod:`repro.core.techniques.registry`), kept
+#: here as the historical constant.
+NO_WAIT = TECHNIQUE_NO_WAIT
+
+#: Deprecated aliases: every engine returns the unified record schema.
+EndToEndResult = RunRecord
+RuleInstallResult = RunRecord
 
 
 def full_scale() -> bool:
@@ -71,67 +91,6 @@ def full_scale() -> bool:
     keeping the benchmark suite fast enough for CI.
     """
     return os.environ.get("REPRO_FULL_SCALE", "") not in ("", "0", "false")
-
-
-# ---------------------------------------------------------------------------
-# Control-stack wiring shared by all engines
-# ---------------------------------------------------------------------------
-
-@dataclass
-class ControlStack:
-    """The RUM proxy chain and controller attached to a network's switches."""
-
-    controller: Controller
-    rum: Optional[RumLayer] = None
-    barrier_layer: Optional[ReliableBarrierLayer] = None
-
-    def prepare(self) -> None:
-        """Pre-start setup (probe catch rules etc.); call before the network starts."""
-        if self.rum is not None:
-            self.rum.prepare()
-
-    def start(self) -> None:
-        """Start the proxy processes; call after the network has started."""
-        if self.rum is not None:
-            self.rum.start()
-
-
-def build_control_stack(
-    sim: Simulator,
-    network: Network,
-    technique: str,
-    *,
-    rum_config: Optional[RumConfig] = None,
-    with_barrier_layer: bool = False,
-    buffer_after_barrier: bool = False,
-) -> ControlStack:
-    """Wire a controller (and, unless ``technique`` is :data:`NO_WAIT`, a RUM
-    proxy chain) onto every switch of ``network``.
-
-    Returns the stack with the controller already connected to all switches;
-    the caller is responsible for calling :meth:`ControlStack.prepare` before
-    and :meth:`ControlStack.start` after ``network.start()``.
-    """
-    rum: Optional[RumLayer] = None
-    barrier_layer: Optional[ReliableBarrierLayer] = None
-    if technique != NO_WAIT:
-        rum = RumLayer(sim, rum_config or config_for_technique(technique))
-        layers = [rum]
-        if with_barrier_layer:
-            barrier_layer = ReliableBarrierLayer(
-                sim, buffer_after_barrier=buffer_after_barrier
-            )
-            layers.append(barrier_layer)
-        endpoints = chain_proxies(network, layers)
-        ack_mode = AckMode.BARRIER if with_barrier_layer else AckMode.RUM_CONFIRMATION
-    else:
-        endpoints = {name: network.controller_endpoint(name)
-                     for name in network.switch_names()}
-        ack_mode = AckMode.NONE
-    controller = Controller(sim, ack_mode=ack_mode)
-    for switch_name, endpoint in endpoints.items():
-        controller.connect_switch(switch_name, endpoint)
-    return ControlStack(controller=controller, rum=rum, barrier_layer=barrier_layer)
 
 
 # ---------------------------------------------------------------------------
@@ -225,154 +184,81 @@ class EndToEndParams:
         return replace(self, **overrides)
 
 
-@dataclass
-class EndToEndResult:
-    """Everything the end-to-end analysis needs."""
+def migration_session(
+    technique: str,
+    params: Optional[EndToEndParams] = None,
+    spec: Optional[MigrationSpec] = None,
+) -> SessionSpec:
+    """The consistent path-migration experiment as a :class:`SessionSpec`."""
+    params = params or EndToEndParams.default()
+    spec = spec or MigrationSpec.triangle(hardware_profile=params.hardware_profile)
+    new_path_switch = spec.resolved_new_path_switch()
 
-    technique: str
-    params: EndToEndParams
-    update_start: float
-    update_duration: Optional[float]
-    stats: List[FlowUpdateStats]
-    dropped_packets: int
-    mean_update_time: Optional[float]
-    completion_time: Optional[float]
-    activation: Optional[ActivationDelays]
-    rum_description: str = ""
-    barrier_layer_held: int = 0
+    def provide_flows(network: Network) -> List[FlowSpec]:
+        return flows_between(
+            network.host(spec.source_host),
+            network.host(spec.dest_host),
+            params.flow_count,
+            rate_pps=params.rate_pps,
+        )
 
-    def update_pairs(self) -> List[Tuple[Optional[float], Optional[float]]]:
-        """``(last old-path, first new-path)`` pairs, per flow (Figure 6/7 axes)."""
-        return [(entry.last_old_path, entry.first_new_path) for entry in self.stats]
+    def preinstall(network: Network, flows: List[FlowSpec]) -> None:
+        for flow in flows:
+            install_path_rules(network, path_flowmods(network, flow, spec.old_path))
 
-    def broken_times(self) -> List[float]:
-        """Per-flow broken times (Figure 1b input)."""
-        return [entry.broken_time for entry in self.stats]
+    def build_plan(network: Network, flows: List[FlowSpec]) -> UpdatePlan:
+        migration = ConsistentPathMigration(network, flows,
+                                            spec.old_path, spec.new_path)
+        return migration.build_plan()
 
-    def as_dict(self) -> Dict[str, object]:
-        """JSON-able summary."""
-        return {
-            "technique": self.technique,
-            "flows": len(self.stats),
-            "update_duration": self.update_duration,
-            "dropped_packets": self.dropped_packets,
-            "mean_update_time": self.mean_update_time,
-            "completion_time": self.completion_time,
-            "max_broken_time": max(self.broken_times(), default=0.0),
-            "acknowledged_early": (
-                self.activation.negative_count if self.activation else None
-            ),
-        }
-
-
-def _rum_config_for(technique: str, params: EndToEndParams) -> RumConfig:
-    overrides = dict(params.rum_overrides)
-    if technique == "adaptive" and "assumed_rate" not in overrides:
-        overrides["assumed_rate"] = 250.0
-    return config_for_technique(technique, **overrides)
+    return SessionSpec(
+        kind="path-migration",
+        technique=technique,
+        topology=lambda: spec.topology,
+        workload=Workload(
+            flows=provide_flows,
+            preinstall=preinstall,
+            markers=lambda network, flows: new_path_switch,
+        ),
+        plan_builder=build_plan,
+        stack=StackSpec(
+            rum_overrides=dict(params.rum_overrides),
+            with_barrier_layer=params.with_barrier_layer,
+            buffer_after_barrier=params.buffer_after_barrier,
+        ),
+        knobs=SessionKnobs(
+            seed=params.seed,
+            warmup=params.warmup,
+            grace=params.grace,
+            settle=0.05,
+            poll_interval=0.1,
+            max_update_duration=params.max_update_duration,
+            max_unconfirmed=params.max_unconfirmed or max(2 * params.flow_count, 16),
+            barrier_every=params.barrier_every,
+            rate_pps=params.rate_pps,
+        ),
+        activation_probe=ActivationProbe(switch=new_path_switch, role="new-path"),
+        labels={
+            "flow_count": params.flow_count,
+            "source_host": spec.source_host,
+            "dest_host": spec.dest_host,
+            "new_path_switch": new_path_switch,
+        },
+    )
 
 
 def run_path_migration(
     technique: str,
     params: Optional[EndToEndParams] = None,
     spec: Optional[MigrationSpec] = None,
-) -> EndToEndResult:
+) -> RunRecord:
     """Run the consistent path-migration experiment with one technique.
 
-    ``technique`` is one of RUM's technique names, or :data:`NO_WAIT` for the
-    no-consistency lower bound of Figure 7.  ``spec`` selects the topology
+    ``technique`` is any registered technique name (:data:`NO_WAIT` gives the
+    no-consistency lower bound of Figure 7).  ``spec`` selects the topology
     and the old/new paths; the default is the paper's triangle migration.
     """
-    params = params or EndToEndParams.default()
-    spec = spec or MigrationSpec.triangle(hardware_profile=params.hardware_profile)
-    new_path_switch = spec.resolved_new_path_switch()
-    sim = Simulator()
-    rng = SeededRandom(params.seed)
-    network = Network(sim, spec.topology, seed=params.seed)
-
-    # Flows and their pre-existing (old path) forwarding state ----------------
-    source = network.host(spec.source_host)
-    destination = network.host(spec.dest_host)
-    flows = flows_between(source, destination, params.flow_count,
-                          rate_pps=params.rate_pps)
-    for flow in flows:
-        install_path_rules(network, path_flowmods(network, flow, spec.old_path))
-
-    # RUM layer (unless running the no-wait lower bound) and controller --------
-    stack = build_control_stack(
-        sim,
-        network,
-        technique,
-        rum_config=(_rum_config_for(technique, params)
-                    if technique != NO_WAIT else None),
-        with_barrier_layer=params.with_barrier_layer,
-        buffer_after_barrier=params.buffer_after_barrier,
-    )
-    rum = stack.rum
-
-    stack.prepare()
-    network.start()
-    stack.start()
-
-    # Traffic ---------------------------------------------------------------------
-    traffic = TrafficGenerator(sim, flows, rng=rng.fork("traffic"))
-    traffic.start()
-
-    # Update plan --------------------------------------------------------------------
-    migration = ConsistentPathMigration(network, flows, spec.old_path, spec.new_path)
-    plan = migration.build_plan()
-    max_unconfirmed = params.max_unconfirmed or max(2 * params.flow_count, 16)
-    executor = PlanExecutor(
-        sim,
-        stack.controller,
-        plan,
-        max_unconfirmed=max_unconfirmed,
-        barrier_every=params.barrier_every,
-        ignore_dependencies=(technique == NO_WAIT),
-    )
-
-    sim.run(until=params.warmup)
-    executor.start()
-    deadline = params.warmup + params.max_update_duration
-    while not executor.done.triggered and sim.now < deadline:
-        sim.run(until=min(sim.now + 0.1, deadline))
-
-    # Let traffic run a little longer so post-update deliveries are observed.
-    stop_at = sim.now + params.grace
-    traffic.stop_all(stop_at)
-    sim.run(until=stop_at + 0.05)
-
-    stats = flow_update_stats(
-        network.monitor,
-        new_path_switch=new_path_switch,
-        update_start=params.warmup,
-        expected_interval=1.0 / params.rate_pps,
-    )
-
-    activation: Optional[ActivationDelays] = None
-    if rum is not None:
-        new_path_xids = [op.flowmod.xid for op in plan.by_role("new-path")
-                         if op.switch == new_path_switch]
-        activation = activation_delays(
-            network.switch(new_path_switch),
-            rum.confirmation_times(new_path_switch),
-            technique=technique,
-            xids=new_path_xids,
-        )
-
-    return EndToEndResult(
-        technique=technique,
-        params=params,
-        update_start=params.warmup,
-        update_duration=executor.duration,
-        stats=stats,
-        dropped_packets=total_dropped(stats),
-        mean_update_time=mean_update_time(stats),
-        completion_time=update_completion_time(stats),
-        activation=activation,
-        rum_description=rum.describe() if rum is not None else NO_WAIT,
-        barrier_layer_held=stack.barrier_layer.barriers_held if stack.barrier_layer else 0,
-    )
+    return migration_session(technique, params, spec).run()
 
 
 # ---------------------------------------------------------------------------
@@ -413,31 +299,6 @@ class RuleInstallParams:
         return replace(self, **overrides)
 
 
-@dataclass
-class RuleInstallResult:
-    """Outcome of one rule-installation run."""
-
-    technique: str
-    params: RuleInstallParams
-    duration: Optional[float]
-    acknowledged_rules: int
-    usable_rate: Optional[float]
-    activation: Optional[ActivationDelays]
-    rum_probe_rule_updates: int = 0
-    rum_probes_injected: int = 0
-
-    def as_dict(self) -> Dict[str, object]:
-        """JSON-able summary."""
-        return {
-            "technique": self.technique,
-            "rules": self.params.rule_count,
-            "window": self.params.max_unconfirmed,
-            "duration": self.duration,
-            "usable_rate": self.usable_rate,
-            "negative_delays": self.activation.negative_count if self.activation else None,
-        }
-
-
 def _install_benchmark_plan(network: Network, params: RuleInstallParams) -> UpdatePlan:
     """R independent exact-match rule installations on the target switch."""
     plan = UpdatePlan(name="rule-install")
@@ -453,56 +314,49 @@ def _install_benchmark_plan(network: Network, params: RuleInstallParams) -> Upda
     return plan
 
 
-def run_rule_install(technique: str, params: Optional[RuleInstallParams] = None) -> RuleInstallResult:
-    """Run the Section 5.2 rule-installation benchmark with one technique."""
+def rule_install_session(
+    technique: str,
+    params: Optional[RuleInstallParams] = None,
+) -> SessionSpec:
+    """The Section 5.2 rule-installation benchmark as a :class:`SessionSpec`."""
     params = params or RuleInstallParams.paper_fig8()
-    sim = Simulator()
-    network = Network(
-        sim,
-        triangle_topology(hardware_profile=params.hardware_profile or hp5406zl_profile()),
-        seed=params.seed,
-    )
-    target_switch = network.switch(params.target_switch)
-    if params.with_drop_all:
-        target_switch.install_rule_directly(FlowMod(Match(), [DropAction()], priority=1))
 
-    stack = build_control_stack(
-        sim, network, technique,
-        rum_config=config_for_technique(technique, **params.rum_overrides),
-    )
-    rum = stack.rum
+    def preinstall(network: Network, flows: List[FlowSpec]) -> None:
+        if params.with_drop_all:
+            network.switch(params.target_switch).install_rule_directly(
+                FlowMod(Match(), [DropAction()], priority=1)
+            )
 
-    stack.prepare()
-    network.start()
-    stack.start()
-
-    plan = _install_benchmark_plan(network, params)
-    executor = PlanExecutor(
-        sim, stack.controller, plan, max_unconfirmed=params.max_unconfirmed,
-    )
-    executor.start()
-    deadline = params.max_duration
-    while not executor.done.triggered and sim.now < deadline:
-        sim.run(until=min(sim.now + 0.25, deadline))
-    sim.run(until=sim.now + 0.1)
-
-    xids = [op.flowmod.xid for op in plan.operations.values()]
-    activation = activation_delays(
-        target_switch,
-        rum.confirmation_times(params.target_switch),
+    return SessionSpec(
+        kind="rule-install",
         technique=technique,
-        xids=xids,
+        topology=lambda: triangle_topology(
+            hardware_profile=params.hardware_profile or hp5406zl_profile()
+        ),
+        workload=Workload(
+            flows=lambda network: [],
+            preinstall=preinstall,
+            traffic=False,
+        ),
+        plan_builder=lambda network, flows: _install_benchmark_plan(network, params),
+        stack=StackSpec(rum_overrides=dict(params.rum_overrides)),
+        knobs=SessionKnobs(
+            seed=params.seed,
+            warmup=0.0,
+            settle=0.1,
+            poll_interval=0.25,
+            max_update_duration=params.max_duration,
+            max_unconfirmed=params.max_unconfirmed,
+        ),
+        activation_probe=ActivationProbe(switch=params.target_switch),
+        labels={
+            "rule_count": params.rule_count,
+            "target_switch": params.target_switch,
+            "window": params.max_unconfirmed,
+        },
     )
-    acked = sum(1 for op in plan.operations.values() if op.acked)
-    duration = executor.duration
-    technique_obj = rum.technique
-    return RuleInstallResult(
-        technique=technique,
-        params=params,
-        duration=duration,
-        acknowledged_rules=acked,
-        usable_rate=(acked / duration) if duration else None,
-        activation=activation,
-        rum_probe_rule_updates=getattr(technique_obj, "probe_rule_updates_sent", 0),
-        rum_probes_injected=getattr(technique_obj, "probes_injected", 0),
-    )
+
+
+def run_rule_install(technique: str, params: Optional[RuleInstallParams] = None) -> RunRecord:
+    """Run the Section 5.2 rule-installation benchmark with one technique."""
+    return rule_install_session(technique, params).run()

@@ -9,7 +9,7 @@ flow on the source host.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.net.host import Host

@@ -16,7 +16,7 @@ Two lookup disciplines are supported:
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.openflow.actions import Action, actions_signature
 from repro.openflow.constants import FlowModCommand

@@ -12,7 +12,7 @@ is what :func:`welsh_powell_coloring` implements.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, List, Optional
 
 import networkx as nx
 

@@ -23,7 +23,7 @@ rule leaves wildcarded to escape conflicting higher-priority rules.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.openflow.actions import Action, actions_signature
 from repro.openflow.match import Match

@@ -26,7 +26,7 @@ from repro.scenarios.base import (
     get_scenario,
     register,
 )
-from repro.scenarios.engine import ScenarioRunResult, run_scenario
+from repro.scenarios.engine import ScenarioRunResult, run_scenario, scenario_session
 from repro.scenarios.generators import (
     TOPOLOGY_FAMILIES,
     build_topology,
@@ -57,4 +57,5 @@ __all__ = [
     "register",
     "ring",
     "run_scenario",
+    "scenario_session",
 ]

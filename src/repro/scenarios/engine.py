@@ -1,153 +1,78 @@
-"""The generic scenario engine.
+"""The generic scenario engine — a thin adapter over :mod:`repro.session`.
 
 Runs any registered :class:`~repro.scenarios.base.Scenario` against any
-acknowledgment technique, reusing the control-stack wiring of
-:func:`repro.experiments.common.build_control_stack`: build the topology,
-preinstall the scenario's initial state, start traffic, execute the
-scenario's update plan through the chosen technique, and collect both the
-generic per-flow update statistics and the scenario-specific metrics.
+registered acknowledgment technique: :func:`scenario_session` maps the
+scenario protocol (topology builder, flows, preinstall, plan, markers,
+metrics) onto a :class:`~repro.session.spec.SessionSpec`, and
+:func:`run_scenario` executes it through ``SessionSpec.run()``.  The result
+is the unified :class:`~repro.session.record.RunRecord`; the name
+``ScenarioRunResult`` is a deprecated alias of it.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Union
+from typing import Optional, Union
 
-from repro.analysis.flowstats import (
-    FlowUpdateStats,
-    flow_update_stats,
-    mean_update_time,
-    update_completion_time,
-)
-from repro.controller.update_plan import PlanExecutor
-from repro.experiments.common import NO_WAIT, build_control_stack
-from repro.net.network import Network
-from repro.net.traffic import TrafficGenerator
-from repro.sim.kernel import Simulator
-from repro.sim.rng import SeededRandom
 from repro.scenarios.base import Scenario, ScenarioParams, get_scenario
+from repro.session.record import RunRecord
+from repro.session.spec import SessionKnobs, SessionSpec, Workload
+
+#: Deprecated alias: scenario runs return the unified record schema.
+ScenarioRunResult = RunRecord
 
 
-@dataclass
-class ScenarioRunResult:
-    """Outcome of one (scenario, technique) run."""
+def scenario_session(
+    scenario: Union[str, Scenario],
+    technique: str,
+    params: Optional[ScenarioParams] = None,
+) -> SessionSpec:
+    """One (scenario, technique) run as a :class:`SessionSpec`.
 
-    scenario: str
-    technique: str
-    topology: str
-    params: ScenarioParams
-    #: Flows that actually ran (scenarios may ignore ``params.flow_count``).
-    flows_run: int
-    plan_size: int
-    update_duration: Optional[float]
-    #: Whether the plan finished within ``params.max_update_duration`` (a
-    #: plan may still complete later, during the post-deadline grace window;
-    #: ``update_duration`` records the actual time in that case).
-    completed: bool
-    dropped_packets: int
-    mean_update_time: Optional[float]
-    completion_time: Optional[float]
-    stats: List[FlowUpdateStats] = field(default_factory=list)
-    metrics: Dict[str, object] = field(default_factory=dict)
+    ``scenario`` is a registry name or an already-built instance (in which
+    case ``params`` is ignored in favour of the instance's own).
+    """
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario, params)
+    params = scenario.params
 
-    def as_dict(self) -> Dict[str, object]:
-        """Flat JSON-able summary (what campaign result files store)."""
-        return {
-            "scenario": self.scenario,
-            "technique": self.technique,
-            "topology": self.topology,
-            "scale": self.params.scale,
-            "seed": self.params.seed,
-            "flows": self.flows_run,
-            "plan_size": self.plan_size,
-            "update_duration": self.update_duration,
-            "completed": self.completed,
-            "dropped_packets": self.dropped_packets,
-            "mean_update_time": self.mean_update_time,
-            "completion_time": self.completion_time,
-            "tracked_flows": len(self.stats),
-            "max_broken_time": max(
-                (entry.broken_time for entry in self.stats), default=0.0
-            ),
-            "metrics": self.metrics,
-        }
+    return SessionSpec(
+        kind="scenario",
+        technique=technique,
+        topology=scenario.build_topology,
+        workload=Workload(
+            flows=scenario.flows,
+            preinstall=scenario.preinstall,
+            markers=scenario.new_path_switches,
+            dropped_from_monitor=True,
+        ),
+        plan_builder=scenario.build_plan,
+        metrics=scenario.metrics,
+        knobs=SessionKnobs(
+            seed=params.seed,
+            warmup=params.warmup,
+            grace=params.grace,
+            settle=0.05,
+            poll_interval=0.1,
+            max_update_duration=params.max_update_duration,
+            max_unconfirmed=params.max_unconfirmed or max(2 * params.flow_count, 16),
+            rate_pps=params.rate_pps,
+        ),
+        labels={
+            "scenario": scenario.name,
+            "scale": params.scale,
+            "params": params.as_dict(),
+        },
+    )
 
 
 def run_scenario(
     scenario: Union[str, Scenario],
     technique: str,
     params: Optional[ScenarioParams] = None,
-) -> ScenarioRunResult:
+) -> RunRecord:
     """Run one scenario with one acknowledgment technique.
 
-    ``scenario`` is a registry name or an already-built instance (in which
-    case ``params`` is ignored in favour of the instance's own).
-    ``technique`` is any RUM technique name, or ``"no-wait"`` for the
-    consistency-free lower bound.
+    ``technique`` is any registered technique name — including ``"no-wait"``
+    for the consistency-free lower bound.
     """
-    if isinstance(scenario, str):
-        scenario = get_scenario(scenario, params)
-    params = scenario.params
-
-    sim = Simulator()
-    rng = SeededRandom(params.seed)
-    topology = scenario.build_topology()
-    network = Network(sim, topology, seed=params.seed)
-
-    flows = scenario.flows(network)
-    scenario.preinstall(network, flows)
-
-    stack = build_control_stack(sim, network, technique)
-    stack.prepare()
-    network.start()
-    stack.start()
-
-    traffic = TrafficGenerator(sim, flows, rng=rng.fork("traffic"))
-    traffic.start()
-
-    plan = scenario.build_plan(network, flows)
-    max_unconfirmed = params.max_unconfirmed or max(2 * params.flow_count, 16)
-    executor = PlanExecutor(
-        sim,
-        stack.controller,
-        plan,
-        max_unconfirmed=max_unconfirmed,
-        ignore_dependencies=(technique == NO_WAIT),
-    )
-
-    sim.run(until=params.warmup)
-    executor.start()
-    deadline = params.warmup + params.max_update_duration
-    while not executor.done.triggered and sim.now < deadline:
-        sim.run(until=min(sim.now + 0.1, deadline))
-    finished_by_deadline = executor.done.triggered
-
-    stop_at = sim.now + params.grace
-    traffic.stop_all(stop_at)
-    sim.run(until=stop_at + 0.05)
-
-    markers = scenario.new_path_switches(network, flows)
-    stats: List[FlowUpdateStats] = []
-    if markers:
-        stats = flow_update_stats(
-            network.monitor,
-            new_path_switch=markers,
-            update_start=params.warmup,
-            expected_interval=1.0 / params.rate_pps,
-        )
-
-    return ScenarioRunResult(
-        scenario=scenario.name,
-        technique=technique,
-        topology=topology.name,
-        params=params,
-        flows_run=len(flows),
-        plan_size=len(plan),
-        update_duration=executor.duration,
-        completed=finished_by_deadline,
-        dropped_packets=network.monitor.total_dropped(),
-        mean_update_time=mean_update_time(stats),
-        completion_time=update_completion_time(stats),
-        stats=stats,
-        metrics=scenario.metrics(network, plan, executor),
-    )
+    return scenario_session(scenario, technique, params).run()

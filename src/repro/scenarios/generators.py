@@ -24,7 +24,7 @@ from __future__ import annotations
 import math
 import random
 from functools import lru_cache
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.net.topology import (
     SWITCH_KINDS,

@@ -1,0 +1,164 @@
+"""The one experiment-session engine.
+
+Every run path of the repro — the fig*/table1 experiment scripts, the
+scenario engine, ``python -m repro.campaign`` and ``python -m repro.bench``
+— executes through :func:`run_session`.  The sequence of simulation-visible
+steps is the exact superset of what the three historical engines did, in the
+same order, so for a fixed seed the results (and their digests) are
+byte-identical with the pre-session code:
+
+1. build topology and network, create flows, preinstall forwarding state;
+2. wire the control stack (RUM proxy chain unless the technique is null);
+3. start the network, the stack, and — if the workload has traffic — a
+   seeded constant-rate traffic generator;
+4. build the update plan, execute it through a windowed
+   :class:`~repro.controller.update_plan.PlanExecutor`, polling until the
+   plan completes or the deadline passes;
+5. let traffic drain through the grace window, then settle;
+6. post-process: per-flow update statistics, activation-delay correlation,
+   workload metrics — all into one :class:`~repro.session.record.RunRecord`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.activation import ActivationDelays, activation_delays
+from repro.analysis.flowstats import (
+    flow_update_stats,
+    mean_update_time,
+    total_dropped,
+    update_completion_time,
+)
+from repro.controller.update_plan import PlanExecutor
+from repro.net.network import Network
+from repro.net.traffic import TrafficGenerator
+from repro.session.record import RunRecord
+from repro.session.spec import SessionSpec
+from repro.session.stack import build_control_stack
+from repro.sim.kernel import Simulator
+from repro.sim.rng import SeededRandom
+
+
+def run_session(spec: SessionSpec) -> RunRecord:
+    """Execute one :class:`SessionSpec` and return its :class:`RunRecord`."""
+    technique = spec.resolved_technique()
+    knobs = spec.knobs
+    workload = spec.workload
+
+    # 1. Topology, network, flows, pre-update forwarding state ----------------
+    sim = Simulator()
+    rng = SeededRandom(knobs.seed)
+    topology = spec.topology()
+    network = Network(sim, topology, seed=knobs.seed)
+    flows = workload.flows(network)
+    if workload.preinstall is not None:
+        workload.preinstall(network, flows)
+
+    # 2. Control stack ---------------------------------------------------------
+    stack = build_control_stack(
+        sim,
+        network,
+        technique,
+        rum_config=technique.rum_config(**spec.stack.rum_overrides),
+        with_barrier_layer=spec.stack.with_barrier_layer,
+        buffer_after_barrier=spec.stack.buffer_after_barrier,
+    )
+    stack.prepare()
+    network.start()
+    stack.start()
+
+    # 3. Traffic ----------------------------------------------------------------
+    traffic: Optional[TrafficGenerator] = None
+    if workload.traffic and flows:
+        traffic = TrafficGenerator(sim, flows, rng=rng.fork("traffic"))
+        traffic.start()
+
+    # 4. Update plan -------------------------------------------------------------
+    plan = spec.plan_builder(network, flows)
+    executor = PlanExecutor(
+        sim,
+        stack.controller,
+        plan,
+        max_unconfirmed=knobs.max_unconfirmed,
+        barrier_every=knobs.barrier_every,
+        ignore_dependencies=technique.ignore_dependencies,
+    )
+    if knobs.warmup > 0:
+        sim.run(until=knobs.warmup)
+    executor.start()
+    if knobs.run_for is not None:
+        # Fixed observation window: the workload is measured over wall time,
+        # not until the plan completes.
+        sim.run(until=knobs.warmup + knobs.run_for)
+    else:
+        deadline = knobs.warmup + knobs.max_update_duration
+        while not executor.done.triggered and sim.now < deadline:
+            sim.run(until=min(sim.now + knobs.poll_interval, deadline))
+    completed = executor.done.triggered
+
+    # 5. Grace window / settling -------------------------------------------------
+    if traffic is not None:
+        stop_at = sim.now + knobs.grace
+        traffic.stop_all(stop_at)
+        sim.run(until=stop_at + knobs.settle)
+    else:
+        sim.run(until=sim.now + knobs.settle)
+
+    # 6. Post-processing -----------------------------------------------------------
+    markers = workload.markers(network, flows) if workload.markers else None
+    stats = []
+    if markers:
+        stats = flow_update_stats(
+            network.monitor,
+            new_path_switch=markers,
+            update_start=knobs.warmup,
+            expected_interval=1.0 / knobs.rate_pps,
+        )
+    dropped = (network.monitor.total_dropped() if workload.dropped_from_monitor
+               else total_dropped(stats))
+
+    activation: Optional[ActivationDelays] = None
+    probe = spec.activation_probe
+    if probe is not None and stack.rum is not None:
+        activation = activation_delays(
+            network.switch(probe.switch),
+            stack.rum.confirmation_times(probe.switch),
+            technique=technique.name,
+            xids=probe.xids(plan),
+        )
+
+    metrics = spec.metrics(network, plan, executor) if spec.metrics else {}
+    acknowledged = sum(1 for op in plan.operations.values() if op.acked)
+    duration = executor.duration
+    rum_technique = stack.rum.technique if stack.rum is not None else None
+
+    labels = dict(spec.labels)
+    return RunRecord(
+        kind=spec.kind,
+        technique=technique.name,
+        spec=spec.config(),
+        scenario=labels.get("scenario"),
+        topology=topology.name,
+        seed=knobs.seed,
+        scale=labels.get("scale"),
+        update_start=knobs.warmup,
+        update_duration=duration,
+        completed=completed,
+        flows_run=len(flows),
+        plan_size=len(plan),
+        acknowledged_rules=acknowledged,
+        usable_rate=(acknowledged / duration) if duration else None,
+        dropped_packets=dropped,
+        mean_update_time=mean_update_time(stats),
+        completion_time=update_completion_time(stats),
+        stats=stats,
+        activation=activation,
+        metrics=metrics,
+        rum_description=(stack.rum.describe() if stack.rum is not None
+                         else technique.name),
+        barrier_layer_held=(stack.barrier_layer.barriers_held
+                            if stack.barrier_layer else 0),
+        rum_probe_rule_updates=getattr(rum_technique, "probe_rule_updates_sent", 0),
+        rum_probes_injected=getattr(rum_technique, "probes_injected", 0),
+    )

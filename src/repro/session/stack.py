@@ -1,0 +1,82 @@
+"""Control-stack wiring shared by every session.
+
+Moved here from ``repro.experiments.common`` (which still re-exports both
+names): the session engine is the one place that builds controller + proxy
+chains now, and the technique registry — not string comparisons against a
+``NO_WAIT`` sentinel — decides whether a RUM proxy is interposed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.controller.base import AckMode, Controller
+from repro.core.barrier_layer import ReliableBarrierLayer
+from repro.core.config import RumConfig
+from repro.core.rum import RumLayer
+from repro.core.techniques.registry import RegisteredTechnique, resolve_technique
+from repro.net.network import Network
+from repro.core.proxy import chain_proxies
+from repro.sim.kernel import Simulator
+
+
+@dataclass
+class ControlStack:
+    """The RUM proxy chain and controller attached to a network's switches."""
+
+    controller: Controller
+    rum: Optional[RumLayer] = None
+    barrier_layer: Optional[ReliableBarrierLayer] = None
+
+    def prepare(self) -> None:
+        """Pre-start setup (probe catch rules etc.); call before the network starts."""
+        if self.rum is not None:
+            self.rum.prepare()
+
+    def start(self) -> None:
+        """Start the proxy processes; call after the network has started."""
+        if self.rum is not None:
+            self.rum.start()
+
+
+def build_control_stack(
+    sim: Simulator,
+    network: Network,
+    technique: Union[str, RegisteredTechnique],
+    *,
+    rum_config: Optional[RumConfig] = None,
+    with_barrier_layer: bool = False,
+    buffer_after_barrier: bool = False,
+) -> ControlStack:
+    """Wire a controller — and, if the technique uses RUM, a proxy chain —
+    onto every switch of ``network``.
+
+    ``technique`` is a registry name or a :class:`RegisteredTechnique`; null
+    techniques (``no-wait``) get a direct controller-to-switch connection
+    with :data:`AckMode.NONE`.  Returns the stack with the controller already
+    connected to all switches; the caller is responsible for calling
+    :meth:`ControlStack.prepare` before and :meth:`ControlStack.start` after
+    ``network.start()``.
+    """
+    entry = resolve_technique(technique)
+    rum: Optional[RumLayer] = None
+    barrier_layer: Optional[ReliableBarrierLayer] = None
+    if entry.uses_rum:
+        rum = RumLayer(sim, rum_config or entry.rum_config())
+        layers = [rum]
+        if with_barrier_layer:
+            barrier_layer = ReliableBarrierLayer(
+                sim, buffer_after_barrier=buffer_after_barrier
+            )
+            layers.append(barrier_layer)
+        endpoints = chain_proxies(network, layers)
+        ack_mode = AckMode.BARRIER if with_barrier_layer else AckMode.RUM_CONFIRMATION
+    else:
+        endpoints = {name: network.controller_endpoint(name)
+                     for name in network.switch_names()}
+        ack_mode = AckMode.NONE
+    controller = Controller(sim, ack_mode=ack_mode)
+    for switch_name, endpoint in endpoints.items():
+        controller.connect_switch(switch_name, endpoint)
+    return ControlStack(controller=controller, rum=rum, barrier_layer=barrier_layer)

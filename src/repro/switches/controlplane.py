@@ -14,7 +14,7 @@ import itertools
 from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
-from repro.openflow.constants import FlowModCommand, StatsType
+from repro.openflow.constants import StatsType
 from repro.openflow.flowtable import FlowTable, TableFullError
 from repro.openflow.messages import (
     BarrierReply,

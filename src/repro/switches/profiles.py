@@ -21,7 +21,7 @@ for the HP ProCurve 5406zl:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from enum import Enum
 from typing import Optional
 

@@ -1,7 +1,6 @@
 """Tests for the campaign grid, runner (incl. resume) and report."""
 
 import json
-from pathlib import Path
 
 import pytest
 
@@ -176,11 +175,12 @@ class TestReport:
         ]
         rows = aggregate(records)
         assert len(rows) == 1
-        scenario, technique, cells, duration, _mut, dropped, violations = rows[0]
+        scenario, technique, cells, duration, _mut, dropped, violations, digests = rows[0]
         assert (scenario, technique, cells) == ("s", "barrier", 2)
         assert duration == pytest.approx(0.2)
         assert dropped == 4
         assert violations == 2
+        assert digests == 0  # hand-written records carry no digest
 
     def test_render_report_empty_file(self, tmp_path):
         assert "no campaign records" in render_report(tmp_path / "none.jsonl")

@@ -7,7 +7,6 @@ from repro.openflow import (
     BarrierRequest,
     ErrorMessage,
     FeaturesReply,
-    FlowEntry,
     FlowMod,
     FlowModCommand,
     FlowTable,

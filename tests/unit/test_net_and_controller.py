@@ -24,7 +24,6 @@ from repro.net import (
     triangle_topology,
 )
 from repro.openflow import FlowMod, Match, OutputAction
-from repro.openflow.messages import BarrierRequest
 from repro.sim import Simulator
 
 

@@ -22,7 +22,7 @@ from repro.packet import (
     make_probe_packet,
     prefix_mask,
 )
-from repro.packet.fields import FIELD_REGISTRY, HeaderField, probe_candidate_fields
+from repro.packet.fields import HeaderField, probe_candidate_fields
 
 
 # -- addresses ---------------------------------------------------------------

@@ -14,7 +14,7 @@ from repro.core import (
 )
 from repro.core.proxy import ProxyLayer
 from repro.net import Network, triangle_topology
-from repro.openflow import BarrierRequest, BarrierReply, ErrorMessage, FlowMod, Match, OutputAction
+from repro.openflow import FlowMod, Match, OutputAction
 from repro.packet.addresses import int_to_ip
 from repro.sim import Simulator
 

@@ -1,0 +1,314 @@
+"""Tests for the unified session API: the technique registry, the
+``RunRecord`` schema (serializer round trip, digests), and the guarantee
+that a technique registered once runs through every entry point."""
+
+import json
+
+import pytest
+
+from repro.campaign import CampaignRunner, CampaignSpec, run_cell
+from repro.core.config import RumConfig, config_for_technique
+from repro.core.techniques.base import AckTechnique
+from repro.core.techniques.registry import (
+    TECHNIQUE_NO_WAIT,
+    available_techniques,
+    get_technique,
+    register_technique_class,
+    resolve_technique,
+    rum_technique_names,
+    unregister_technique,
+)
+from repro.experiments.common import (
+    EndToEndParams,
+    RuleInstallParams,
+    run_path_migration,
+    run_rule_install,
+)
+from repro.scenarios import ScenarioParams, run_scenario
+from repro.session import SUMMARY_KEYS, RunRecord
+
+
+def _quick_migration_params(**overrides):
+    defaults = dict(flow_count=2, rate_pps=250.0, seed=3, warmup=0.1,
+                    grace=0.2, max_update_duration=5.0)
+    defaults.update(overrides)
+    return EndToEndParams(**defaults)
+
+
+def _quick_scenario_params(**overrides):
+    defaults = dict(flow_count=3, warmup=0.1, grace=0.2,
+                    max_update_duration=5.0, seed=7)
+    defaults.update(overrides)
+    return ScenarioParams(**defaults)
+
+
+# ---------------------------------------------------------------------------
+# Technique registry
+# ---------------------------------------------------------------------------
+
+class TestTechniqueRegistry:
+    def test_builtins_registered(self):
+        assert {"barrier", "timeout", "adaptive", "sequential", "general",
+                TECHNIQUE_NO_WAIT} <= set(available_techniques())
+
+    def test_no_wait_is_a_null_technique(self):
+        entry = get_technique(TECHNIQUE_NO_WAIT)
+        assert not entry.uses_rum
+        assert entry.ignore_dependencies
+        assert entry.rum_config() is None
+        with pytest.raises(ValueError):
+            entry.instantiate(None)
+
+    def test_rum_techniques_do_not_ignore_dependencies(self):
+        for name in rum_technique_names():
+            entry = get_technique(name)
+            assert entry.uses_rum
+            assert not entry.ignore_dependencies
+
+    def test_adaptive_owns_its_assumed_rate_default(self):
+        entry = get_technique("adaptive")
+        assert entry.config_defaults["assumed_rate"] == pytest.approx(250.0)
+        assert config_for_technique("adaptive").assumed_rate == pytest.approx(250.0)
+        # Caller overrides still win over the technique's own defaults.
+        assert entry.rum_config(assumed_rate=200.0).assumed_rate == pytest.approx(200.0)
+
+    def test_resolve_accepts_entries_and_names(self):
+        entry = get_technique("general")
+        assert resolve_technique(entry) is entry
+        assert resolve_technique("general") is entry
+
+    def test_unknown_technique_rejected_everywhere(self):
+        with pytest.raises(KeyError):
+            get_technique("quantum")
+        with pytest.raises(ValueError):
+            resolve_technique("quantum")
+        with pytest.raises(ValueError):
+            run_path_migration("quantum", _quick_migration_params())
+        with pytest.raises(ValueError):
+            config_for_technique("quantum")
+        with pytest.raises(ValueError):
+            RumConfig(technique="quantum").validated()
+
+    def test_no_wait_has_no_rum_config(self):
+        with pytest.raises(ValueError):
+            config_for_technique(TECHNIQUE_NO_WAIT)
+        with pytest.raises(ValueError):
+            RumConfig(technique=TECHNIQUE_NO_WAIT).validated()
+
+    @pytest.mark.parametrize("technique", sorted(available_techniques()))
+    def test_every_registered_technique_runs_a_triangle_migration(self, technique):
+        record = run_path_migration(technique, _quick_migration_params())
+        assert isinstance(record, RunRecord)
+        assert record.technique == technique
+        assert record.completed
+        assert record.flows_run == 2
+        assert record.plan_size > 0
+        assert all(entry.switched for entry in record.stats)
+
+
+# ---------------------------------------------------------------------------
+# RunRecord: one schema, one serializer
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def migration_record():
+    return run_path_migration("barrier", _quick_migration_params(flow_count=3))
+
+
+@pytest.fixture(scope="module")
+def scenario_record():
+    return run_scenario("path-migration", "general", _quick_scenario_params())
+
+
+@pytest.fixture(scope="module")
+def rule_install_record():
+    return run_rule_install("general", RuleInstallParams(rule_count=40,
+                                                         max_unconfirmed=20))
+
+
+class TestRunRecordRoundTrip:
+    def _assert_round_trips(self, record):
+        payload = record.as_dict()
+        rebuilt = RunRecord.from_dict(json.loads(json.dumps(payload)))
+        assert rebuilt == record
+        assert rebuilt.digest() == record.digest()
+
+    def test_migration_record_round_trips(self, migration_record):
+        assert migration_record.activation is not None  # exercises per-rule keys
+        self._assert_round_trips(migration_record)
+
+    def test_scenario_record_round_trips(self, scenario_record):
+        assert scenario_record.metrics
+        self._assert_round_trips(scenario_record)
+
+    def test_rule_install_record_round_trips(self, rule_install_record):
+        assert rule_install_record.acknowledged_rules == 40
+        self._assert_round_trips(rule_install_record)
+
+    def test_summary_has_the_unified_keys(self, scenario_record):
+        summary = scenario_record.summary()
+        assert set(summary) == set(SUMMARY_KEYS)
+        json.dumps(summary)  # flat view must be JSON-able as-is
+
+    def test_legacy_accessors(self, migration_record, rule_install_record):
+        pairs = migration_record.update_pairs()
+        assert len(pairs) == len(migration_record.stats)
+        assert migration_record.max_broken_time >= 0.0
+        assert rule_install_record.duration == rule_install_record.update_duration
+
+    def test_from_dict_rejects_unknown_schema(self):
+        with pytest.raises(ValueError, match="schema"):
+            RunRecord.from_dict({"schema": 99})
+
+    def test_digest_ignores_provenance(self, scenario_record):
+        relabeled = RunRecord.from_dict(scenario_record.as_dict())
+        relabeled.spec = {"entirely": "different"}
+        assert relabeled.digest() == scenario_record.digest()
+
+    def test_render_run_summaries_reads_unified_keys(self, scenario_record):
+        from repro.analysis.report import render_run_summaries
+
+        text = render_run_summaries([scenario_record.summary()], title="t")
+        assert "path-migration" in text
+        assert "general" in text
+
+
+# ---------------------------------------------------------------------------
+# Byte-identical results across the redesign
+# ---------------------------------------------------------------------------
+
+#: Digests of fixed-seed runs captured on the pre-session code (the three
+#: hand-rolled engines); the session engine must reproduce them exactly.
+#: Activation delays enter as sorted time tuples, without their OpenFlow
+#: xids: xids come from a process-global counter, so they depend on what ran
+#: earlier in the process — on the old code exactly as on the new.
+PRE_REDESIGN_DIGESTS = {
+    "migration/barrier": "78df42a375ab8efa",
+    "migration/general": "129a782e232c45cb",
+    "migration/no-wait": "93bef8adeec26a6b",
+    "scenario/path-migration/general": "1301cf7842486506",
+    "scenario/path-migration/no-wait": "f7e26d079808eced",
+    "scenario/link-failure/general": "a3143f5c7502e580",
+    "rule-install/sequential": "b8db049f5997b15f",
+    "rule-install/general": "5b6f412e2385a3d4",
+}
+
+
+def _sha(payload: str) -> str:
+    import hashlib
+
+    return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def _stats_tuples(stats):
+    return [(s.flow_id, s.last_old_path, s.first_new_path, s.broken_time,
+             s.packets_sent, s.packets_received) for s in stats]
+
+
+class TestPreRedesignEquivalence:
+    @pytest.mark.parametrize("technique", ["barrier", "general", "no-wait"])
+    def test_path_migration_digest_unchanged(self, technique):
+        record = run_path_migration(
+            technique,
+            EndToEndParams(flow_count=12, rate_pps=250.0, seed=7,
+                           max_update_duration=10.0),
+        )
+        payload = repr((record.technique, record.update_duration,
+                        record.dropped_packets, _stats_tuples(record.stats),
+                        sorted(record.activation.per_rule.values())
+                        if record.activation else None))
+        assert _sha(payload) == PRE_REDESIGN_DIGESTS[f"migration/{technique}"]
+
+    @pytest.mark.parametrize("scenario,technique", [
+        ("path-migration", "general"),
+        ("path-migration", "no-wait"),
+        ("link-failure", "general"),
+    ])
+    def test_scenario_digest_unchanged(self, scenario, technique):
+        record = run_scenario(scenario, technique, _quick_scenario_params())
+        payload = repr((record.scenario, record.technique, record.topology,
+                        record.update_duration, record.completed,
+                        record.dropped_packets, _stats_tuples(record.stats),
+                        sorted(record.metrics.items())))
+        assert _sha(payload) == PRE_REDESIGN_DIGESTS[f"scenario/{scenario}/{technique}"]
+
+    @pytest.mark.parametrize("technique", ["sequential", "general"])
+    def test_rule_install_digest_unchanged(self, technique):
+        record = run_rule_install(
+            technique, RuleInstallParams(rule_count=60, max_unconfirmed=30)
+        )
+        payload = repr((record.technique, record.duration,
+                        record.acknowledged_rules,
+                        sorted(record.activation.per_rule.values())
+                        if record.activation else None))
+        assert _sha(payload) == PRE_REDESIGN_DIGESTS[f"rule-install/{technique}"]
+
+
+# ---------------------------------------------------------------------------
+# A technique registered once runs through every entry point
+# ---------------------------------------------------------------------------
+
+class ToyInstantTechnique(AckTechnique):
+    """Toy technique for tests: confirm a fixed 20 ms after forwarding."""
+
+    name = "toy-instant"
+    config_defaults = {"timeout": 0.0}
+
+    def on_flowmod_forwarded(self, switch_name, record):
+        self.sim.schedule_callback(0.02, self._confirm, switch_name, record.xid)
+
+    def _confirm(self, switch_name, xid):
+        self.layer.confirm_rule(switch_name, xid, by=self.name)
+
+
+@pytest.fixture()
+def toy_technique():
+    register_technique_class(ToyInstantTechnique)
+    try:
+        yield ToyInstantTechnique.name
+    finally:
+        unregister_technique(ToyInstantTechnique.name)
+
+
+class TestToyTechniqueEverywhere:
+    """Adding a technique requires edits only under ``core/techniques/``."""
+
+    def test_session_path(self, toy_technique):
+        record = run_path_migration(toy_technique, _quick_migration_params())
+        assert record.completed
+        assert record.technique == toy_technique
+        # Its config defaults flow through the registry.
+        assert config_for_technique(toy_technique).timeout == 0.0
+
+    def test_scenario_path(self, toy_technique):
+        record = run_scenario("path-migration", toy_technique,
+                              _quick_scenario_params(flow_count=2))
+        assert record.completed
+        assert record.technique == toy_technique
+
+    def test_campaign_path(self, toy_technique):
+        spec = CampaignSpec(scenarios=["path-migration"],
+                            techniques=[toy_technique],
+                            scales=[1], seeds=[1], flow_count=2,
+                            max_update_duration=5.0)
+        spec.validate()  # the grid accepts any registered technique
+        cells = spec.cells()
+        assert len(cells) == 1
+        record = run_cell(cells[0])
+        assert record["status"] == "ok"
+        assert record["technique"] == toy_technique
+        assert record["digest"]
+        assert record["session"]["technique"] == toy_technique
+
+    def test_campaign_resume_over_session_records(self, toy_technique, tmp_path):
+        spec = CampaignSpec(scenarios=["path-migration"],
+                            techniques=[toy_technique],
+                            scales=[1], seeds=[1, 2], flow_count=2,
+                            max_update_duration=5.0)
+        results = tmp_path / "results.jsonl"
+        cells = spec.cells()
+        # A previous campaign finished one cell, writing the new-style record.
+        with results.open("w", encoding="utf-8") as handle:
+            handle.write(json.dumps(run_cell(cells[0])) + "\n")
+        runner = CampaignRunner(spec, results, max_workers=1)
+        assert [cell.cell_id for cell in runner.pending_cells()] == [cells[1].cell_id]

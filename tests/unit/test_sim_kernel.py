@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import AllOf, AnyOf, Event, Process, Queue, Resource, Simulator, Timeout
+from repro.sim import AllOf, AnyOf, Event, Process, Simulator, Timeout
 from repro.sim.events import EventAlreadyTriggered
 from repro.sim.process import ProcessError
 

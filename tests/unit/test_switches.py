@@ -31,7 +31,7 @@ from repro.switches import (
     reordering_switch_profile,
     software_switch_profile,
 )
-from repro.switches.profiles import BarrierMode, DataPlaneSyncModel
+from repro.switches.profiles import BarrierMode
 
 
 def _wired_switch(profile):
