@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Fault-injection quickstart: sweep ack-loss probability across techniques.
+
+The paper's point is that acknowledgments cannot be trusted; this example
+makes that quantitative.  The same migration workload runs under increasing
+barrier-ack loss, once per acknowledgment technique, and the resilience
+table shows who still completes the update and at what cost: the barrier
+technique stalls as soon as acks go missing, while RUM's general probing —
+which confirms rules in the data plane, not on the control channel — keeps
+finishing with zero loss.
+
+Equivalent campaign CLI (adds processes-level parallelism and resume)::
+
+    python -m repro.campaign run --scenarios fault-sweep \
+        --techniques barrier,general,no-wait \
+        --faults 'none,ack-loss(probability=0.25),ack-loss(probability=0.75)'
+
+Run with::
+
+    python examples/fault_sweep.py
+"""
+
+from repro.analysis.report import (
+    RESILIENCE_HEADERS,
+    correctness_under_fault_rows,
+    format_table,
+)
+from repro.faults import FaultPlan
+from repro.scenarios import ScenarioParams, run_scenario
+
+TECHNIQUES = ("barrier", "general", "no-wait")
+ACK_LOSS_PROBABILITIES = (0.0, 0.25, 0.5, 1.0)
+
+
+def main() -> None:
+    groups = {}
+    for probability in ACK_LOSS_PROBABILITIES:
+        plan = FaultPlan.from_string(
+            f"ack-loss(probability={probability})" if probability else "none")
+        for technique in TECHNIQUES:
+            record = run_scenario(
+                "fault-sweep", technique,
+                ScenarioParams(flow_count=6, seed=7, max_update_duration=5.0,
+                               faults=plan.to_string()))
+            groups.setdefault((plan.to_string(), technique), []).append(
+                record.summary())
+            print(f"ack-loss p={probability:<5} {technique:8s} "
+                  f"completed={str(record.completed):5s} "
+                  f"dropped={record.dropped_packets:4d} "
+                  f"fault_events={sum(record.fault_events.values())}")
+
+    print()
+    print(format_table(
+        RESILIENCE_HEADERS,
+        correctness_under_fault_rows(groups),
+        title="Correctness under ack loss (fault-sweep scenario, seed 7)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -38,6 +38,54 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
     return "\n".join(lines)
 
 
+#: Scenario metric keys that count safety violations (summed per group).
+VIOLATION_METRICS = (
+    "http_bypassing_firewall",
+    "residual_drained_deliveries",
+)
+
+#: Column headers of :func:`correctness_under_fault_rows`.
+RESILIENCE_HEADERS = ["fault", "technique", "runs", "completed",
+                      "mean duration [s]", "dropped", "violations",
+                      "max broken [s]", "fault events"]
+
+
+def correctness_under_fault_rows(
+    groups: Dict[Tuple[str, str], Sequence[Dict[str, object]]],
+) -> List[List[object]]:
+    """Per-(fault, technique) correctness rows from flat run summaries.
+
+    ``groups`` maps ``(fault label, technique)`` to
+    :meth:`~repro.session.record.RunRecord.summary` dicts (campaign records
+    qualify as-is).  One row per group: how often the update completed, how
+    long it took, and what correctness damage — dropped packets, safety
+    violations, broken time — the fault caused, next to the number of fault
+    activations that caused it.  Fault-free groups (label ``"none"``) serve
+    as the control rows.
+    """
+    rows: List[List[object]] = []
+    for (fault, technique), summaries in sorted(groups.items()):
+        durations = [s["update_duration"] for s in summaries
+                     if s.get("update_duration") is not None]
+        broken = [s.get("max_broken_time") or 0.0 for s in summaries]
+        violations = sum(
+            int((s.get("metrics") or {}).get(key, 0))
+            for s in summaries for key in VIOLATION_METRICS
+        )
+        rows.append([
+            fault,
+            technique,
+            len(summaries),
+            f"{sum(1 for s in summaries if s.get('completed'))}/{len(summaries)}",
+            (sum(durations) / len(durations)) if durations else "-",
+            sum(int(s.get("dropped_packets") or 0) for s in summaries),
+            violations,
+            max(broken, default=0.0),
+            sum(sum((s.get("faults") or {}).values()) for s in summaries),
+        ])
+    return rows
+
+
 def _format_cell(cell: object) -> str:
     if isinstance(cell, float):
         return f"{cell:.3f}"

@@ -1,4 +1,4 @@
-"""Campaign subsystem: parallel (scenario × technique × scale × seed) sweeps.
+"""Campaign subsystem: parallel (scenario × technique × fault × scale × seed) sweeps.
 
 The grid (:mod:`repro.campaign.grid`) expands a :class:`CampaignSpec` into
 hash-keyed cells, the runner (:mod:`repro.campaign.runner`) executes pending
@@ -8,7 +8,12 @@ aggregates results with the :mod:`repro.analysis.report` table machinery.
 """
 
 from repro.campaign.grid import CampaignCell, CampaignSpec, cell_from_config
-from repro.campaign.report import aggregate, render_report
+from repro.campaign.report import (
+    aggregate,
+    render_report,
+    render_resilience_report,
+    resilience,
+)
 from repro.campaign.runner import (
     CampaignOutcome,
     CampaignRunner,
@@ -27,5 +32,7 @@ __all__ = [
     "completed_cell_ids",
     "load_records",
     "render_report",
+    "render_resilience_report",
+    "resilience",
     "run_cell",
 ]

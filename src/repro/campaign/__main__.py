@@ -2,9 +2,18 @@
 
 Subcommands::
 
-    list                       show registered scenarios and topology families
+    list                       show scenarios, topology families, fault models
     run [axes...]              expand a grid, run pending cells in parallel
     report [--out FILE]        aggregate a results file into a summary table
+
+Fault sweeps add a ``--faults`` axis of fault-plan strings (quote them, the
+shell dislikes parentheses)::
+
+    python -m repro.campaign run --scenarios fault-sweep \
+        --techniques barrier,general,no-wait \
+        --faults 'none,ack-loss(probability=0.3),delay-spike(probability=0.1)'
+
+and the report then includes the per-technique correctness-under-fault table.
 
 ``run`` appends to its results file and skips cells that already succeeded,
 so re-invoking the same command resumes an interrupted campaign.
@@ -20,6 +29,8 @@ from repro.analysis.report import format_table
 from repro.campaign.grid import CampaignSpec
 from repro.campaign.report import render_report
 from repro.campaign.runner import CampaignRunner
+from repro.faults import available_faults, get_fault
+from repro.faults.plan import split_outside_parens
 from repro.scenarios import SCENARIOS, TOPOLOGY_FAMILIES, available_scenarios
 
 DEFAULT_RESULTS = "campaign-results.jsonl"
@@ -31,6 +42,15 @@ def _csv(value: str):
 
 def _int_csv(value: str):
     return [int(item) for item in _csv(value)]
+
+
+def _fault_csv(value: str):
+    """Split a fault axis on commas *outside* parentheses.
+
+    ``none,ack-loss(probability=0.3,spike=2)`` is two entries, not three —
+    parameter lists carry their own commas.
+    """
+    return split_outside_parens(value, ",")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -53,6 +73,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="comma-separated integer scales")
     run.add_argument("--seeds", type=_int_csv, default=[1, 2],
                      help="comma-separated seeds")
+    run.add_argument("--faults", type=_fault_csv, default=["none"],
+                     help="comma-separated fault-plan strings, e.g. "
+                          "'none,ack-loss(probability=0.3)' (quote the "
+                          "parentheses; 'none' keeps a fault-free control "
+                          "group)")
     run.add_argument("--topology", default="auto",
                      help=f"topology family ({', '.join(TOPOLOGY_FAMILIES)}, "
                           "or 'auto' for each scenario's default)")
@@ -85,6 +110,13 @@ def cmd_list() -> int:
     print(format_table(["scenario", "default topology", "description"], rows,
                        title="Registered scenarios"))
     print()
+    fault_rows = [
+        [name, get_fault(name).layer, get_fault(name).description]
+        for name in available_faults()
+    ]
+    print(format_table(["fault", "layer", "description"], fault_rows,
+                       title="Registered fault models (--faults axis)"))
+    print()
     print("topology families:", ", ".join(TOPOLOGY_FAMILIES))
     return 0
 
@@ -98,6 +130,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             techniques=args.techniques,
             scales=args.scales,
             seeds=args.seeds,
+            faults=args.faults,
             topology=args.topology,
             flow_count=args.flows,
         )
@@ -109,7 +142,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     cells = spec.cells()
     print(f"campaign: {len(cells)} cells "
           f"({len(spec.scenarios)} scenarios x {len(spec.techniques)} techniques "
-          f"x {len(spec.scales)} scales x {len(spec.seeds)} seeds), "
+          f"x {len(spec.faults)} faults x {len(spec.scales)} scales "
+          f"x {len(spec.seeds)} seeds), "
           f"{runner.max_workers} workers -> {args.out}")
     outcome = runner.run(progress=print)
     print(f"done: ran {outcome.ran}, skipped {outcome.skipped} "

@@ -1,7 +1,7 @@
 """Parameter grids for scenario campaigns.
 
 A :class:`CampaignSpec` names the axes of a sweep — scenarios, techniques,
-topology scales and seeds — and expands into the cross product of
+fault plans, topology scales and seeds — and expands into the cross product of
 :class:`CampaignCell` instances.  Every cell derives a stable ``cell_id``
 from the SHA-1 of its canonical JSON configuration; the campaign runner
 keys result records by that id, which is what makes interrupted campaigns
@@ -17,12 +17,13 @@ from dataclasses import dataclass, field
 from typing import Dict, List
 
 from repro.core.techniques.registry import available_techniques
+from repro.faults.plan import NO_FAULTS, FaultPlan
 from repro.scenarios.base import ScenarioParams, available_scenarios
 
 
 @dataclass(frozen=True)
 class CampaignCell:
-    """One point of the (scenario × technique × scale × seed) grid."""
+    """One point of the (scenario × technique × fault × scale × seed) grid."""
 
     scenario: str
     technique: str
@@ -32,10 +33,18 @@ class CampaignCell:
     flow_count: int = 8
     rate_pps: float = 250.0
     max_update_duration: float = 15.0
+    #: Fault plan in compact string form (``"none"``: fault-free control run).
+    fault: str = "none"
 
     def config(self) -> Dict[str, object]:
-        """The canonical, JSON-able configuration of this cell."""
-        return {
+        """The canonical, JSON-able configuration of this cell.
+
+        The ``fault`` key is only present for faulted cells: fault-free
+        configurations hash to the same ``cell_id`` as before the fault axis
+        existed, so resuming a pre-fault-subsystem results file still skips
+        its finished cells instead of re-running (and double-counting) them.
+        """
+        config = {
             "scenario": self.scenario,
             "technique": self.technique,
             "scale": self.scale,
@@ -45,6 +54,9 @@ class CampaignCell:
             "rate_pps": self.rate_pps,
             "max_update_duration": self.max_update_duration,
         }
+        if self.fault.lower() not in NO_FAULTS:
+            config["fault"] = self.fault
+        return config
 
     @property
     def cell_id(self) -> str:
@@ -61,12 +73,19 @@ class CampaignCell:
             flow_count=self.flow_count,
             rate_pps=self.rate_pps,
             max_update_duration=self.max_update_duration,
+            # Passed through verbatim: an explicit "none" stays an explicit
+            # fault-free control run even for scenarios (fault-sweep) that
+            # arm a default mix when the axis is absent.
+            faults=self.fault,
         )
 
     def describe(self) -> str:
         """Short human-readable label for progress output."""
-        return (f"{self.scenario}/{self.technique} "
-                f"topo={self.topology} scale={self.scale} seed={self.seed}")
+        label = (f"{self.scenario}/{self.technique} "
+                 f"topo={self.topology} scale={self.scale} seed={self.seed}")
+        if self.fault.lower() not in NO_FAULTS:
+            label += f" fault={self.fault}"
+        return label
 
 
 @dataclass
@@ -79,14 +98,17 @@ class CampaignSpec:
     techniques: List[str] = field(default_factory=lambda: ["barrier", "general"])
     scales: List[int] = field(default_factory=lambda: [1])
     seeds: List[int] = field(default_factory=lambda: [1, 2])
+    #: Fault-plan strings (see :meth:`repro.faults.FaultPlan.from_string`);
+    #: include ``"none"`` to keep a fault-free control group in the grid.
+    faults: List[str] = field(default_factory=lambda: ["none"])
     topology: str = "auto"
     flow_count: int = 8
     rate_pps: float = 250.0
     max_update_duration: float = 15.0
 
     def validate(self) -> None:
-        """Reject empty axes and unknown scenario/technique names early."""
-        for axis_name in ("scenarios", "techniques", "scales", "seeds"):
+        """Reject empty axes and unknown scenario/technique/fault names early."""
+        for axis_name in ("scenarios", "techniques", "scales", "seeds", "faults"):
             if not getattr(self, axis_name):
                 raise ValueError(f"campaign axis {axis_name!r} is empty")
         known = set(available_scenarios())
@@ -101,6 +123,13 @@ class CampaignSpec:
             raise ValueError(
                 f"unknown technique(s) {bad}; available: {sorted(valid_techniques)}"
             )
+        for fault in self.faults:
+            try:
+                FaultPlan.from_string(fault).validate()
+            # TypeError covers non-numeric parameter values ("probability=oops"
+            # parses as a string and fails the model's range checks).
+            except (KeyError, ValueError, TypeError) as error:
+                raise ValueError(f"bad fault axis entry {fault!r}: {error}") from None
 
     def cells(self) -> List[CampaignCell]:
         """The full cross product, in deterministic order."""
@@ -115,9 +144,11 @@ class CampaignSpec:
                 flow_count=self.flow_count,
                 rate_pps=self.rate_pps,
                 max_update_duration=self.max_update_duration,
+                fault=fault,
             )
-            for scenario, technique, scale, seed in itertools.product(
-                self.scenarios, self.techniques, self.scales, self.seeds
+            for scenario, technique, fault, scale, seed in itertools.product(
+                self.scenarios, self.techniques, self.faults, self.scales,
+                self.seeds
             )
         ]
 

@@ -4,10 +4,11 @@ Campaign records store the unified flat keys of
 :data:`repro.session.record.SUMMARY_KEYS` (``RunRecord.summary()`` output)
 — one schema shared with every other run path — and this module feeds them
 into the plain-text reporting machinery of :mod:`repro.analysis.report`:
-one per-(scenario, technique) summary table over all cells, plus a
-violation table for the scenarios that define safety metrics.  The
-``digests`` column counts distinct result digests per group: for a grid
-with one seed per group it doubles as a determinism check.
+one per-(scenario, technique, fault) summary table over all cells, a
+resilience table when any cell armed faults, plus a violation table for the
+scenarios that define safety metrics.  The ``digests`` column counts
+distinct result digests per group: for a grid with one seed per group it
+doubles as a determinism check.
 """
 
 from __future__ import annotations
@@ -16,15 +17,15 @@ from collections import defaultdict
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
-from repro.analysis.report import format_table
-from repro.campaign.runner import load_records
-from repro.session.record import SUMMARY_KEYS  # noqa: F401 - the record schema
-
-#: Scenario metric keys that count safety violations (summed per group).
-VIOLATION_METRICS = (
-    "http_bypassing_firewall",
-    "residual_drained_deliveries",
+from repro.analysis.report import (
+    RESILIENCE_HEADERS,
+    VIOLATION_METRICS,
+    correctness_under_fault_rows,
+    format_table,
 )
+from repro.campaign.runner import FINAL_STATUSES, load_records
+from repro.faults.plan import NO_FAULTS
+from repro.session.record import SUMMARY_KEYS  # noqa: F401 - the record schema
 
 
 def _mean(values: List[float]) -> Optional[float]:
@@ -32,15 +33,21 @@ def _mean(values: List[float]) -> Optional[float]:
 
 
 def aggregate(records: List[Dict[str, object]]) -> List[List[object]]:
-    """Per-(scenario, technique) rows over every successful record."""
-    groups: Dict[Tuple[str, str], List[Dict[str, object]]] = defaultdict(list)
+    """Per-(scenario, technique, fault) rows over every successful record.
+
+    The fault label is part of the group key so a faulted cell never merges
+    with its fault-free control — the ``digests`` column stays a valid
+    determinism check and the means are not cross-fault averages.
+    """
+    groups: Dict[Tuple[str, str, str], List[Dict[str, object]]] = defaultdict(list)
     for record in records:
         if record.get("status") != "ok":
             continue
-        groups[(record["scenario"], record["technique"])].append(record)
+        groups[(record["scenario"], record["technique"],
+                _fault_label(record))].append(record)
 
     rows: List[List[object]] = []
-    for (scenario, technique), group in sorted(groups.items()):
+    for (scenario, technique, fault), group in sorted(groups.items()):
         durations = [r["update_duration"] for r in group
                      if r.get("update_duration") is not None]
         update_times = [r["mean_update_time"] for r in group
@@ -54,6 +61,7 @@ def aggregate(records: List[Dict[str, object]]) -> List[List[object]]:
         rows.append([
             scenario,
             technique,
+            fault,
             len(group),
             _mean(durations) if durations else "-",
             _mean(update_times) if update_times else "-",
@@ -62,6 +70,43 @@ def aggregate(records: List[Dict[str, object]]) -> List[List[object]]:
             len(digests),
         ])
     return rows
+
+
+def _fault_label(record: Dict[str, object]) -> str:
+    fault = str((record.get("config") or {}).get("fault") or "none")
+    return "none" if fault.lower() in NO_FAULTS else fault
+
+
+def has_fault_axis(records: List[Dict[str, object]]) -> bool:
+    """Whether any record ran with an armed fault plan."""
+    return any(_fault_label(record) != "none" for record in records)
+
+
+def resilience(records: List[Dict[str, object]]) -> List[List[object]]:
+    """Per-(fault, technique) correctness rows over every finished record.
+
+    Unlike :func:`aggregate`, ``incomplete`` records are *included*: an
+    update missing its deadline is precisely the failure mode most fault
+    models provoke, so dropping those runs would hide the result.
+    """
+    groups: Dict[Tuple[str, str], List[Dict[str, object]]] = defaultdict(list)
+    for record in records:
+        if record.get("status") not in FINAL_STATUSES:
+            continue
+        groups[(_fault_label(record), record["technique"])].append(record)
+    return correctness_under_fault_rows(groups)
+
+
+def render_resilience_report(results_path: Path) -> str:
+    """The technique × fault correctness table of a campaign's results."""
+    records = load_records(results_path)
+    rows = resilience(records)
+    if not rows:
+        return f"no finished campaign records in {results_path}"
+    return format_table(
+        RESILIENCE_HEADERS, rows,
+        title=f"Resilience report — correctness under fault ({results_path})",
+    )
 
 
 def failures(records: List[Dict[str, object]]) -> List[List[object]]:
@@ -88,17 +133,23 @@ def render_report(results_path: Path) -> str:
         return f"no campaign records in {results_path}"
     sections = [
         format_table(
-            ["scenario", "technique", "cells", "mean duration [s]",
+            ["scenario", "technique", "fault", "cells", "mean duration [s]",
              "mean update time [s]", "dropped", "violations", "digests"],
             aggregate(records),
             title=f"Campaign report — {results_path} ({len(records)} records)",
         )
     ]
+    if has_fault_axis(records):
+        sections.append(format_table(
+            RESILIENCE_HEADERS,
+            resilience(records),
+            title="Resilience — correctness under fault (incomplete runs included)",
+        ))
     failed = failures(records)
     if failed:
         sections.append(format_table(
             ["scenario", "technique", "seed", "status", "error"],
             failed,
-            title="Failed cells",
+            title="Non-ok cells (incomplete = update missed its deadline)",
         ))
     return "\n\n".join(sections)

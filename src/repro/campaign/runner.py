@@ -225,7 +225,10 @@ class CampaignRunner:
                             sink.write(line + "\n")
                             records.append(record)
                             ran += 1
-                            if record.get("status") != "ok":
+                            # "incomplete" is a measured outcome (a deadline
+                            # legitimately missed — what many fault plans
+                            # provoke on purpose), not a campaign failure.
+                            if record.get("status") not in FINAL_STATUSES:
                                 failed += 1
                             say(f"[{ran}/{len(pending)}] {cell.describe()} "
                                 f"-> {record.get('status')}")

@@ -32,28 +32,30 @@ from repro.openflow.actions import OutputAction
 from repro.openflow.match import Match
 from repro.openflow.messages import FlowMod
 from repro.packet.fields import IP_PROTO_TCP
-from repro.switches.faults import Fault, FaultInjector
+from repro.faults import DataPlaneFault, FaultInjector
 from repro.switches.profiles import SwitchProfile, hp5406zl_profile
 
 
-class DelayedHttpRuleFault(Fault):
+class DelayedHttpRuleFault(DataPlaneFault):
     """Delays the data-plane installation of the HTTP (firewall) rule.
 
     This reproduces, deterministically, the "hard to predict corner cases
     [where] the delay may reach several seconds" that make static timeouts
     unsafe, applied to the one rule whose late installation opens the
-    security hole.
+    security hole.  Scenario-specific, hence not in the fault registry.
     """
 
-    def __init__(self, delay: float = 0.8, http_port: int = 80) -> None:
-        self.delay = delay
-        self.http_port = http_port
+    name = "delayed-http-rule"
+    param_defaults = {"delay": 0.8, "http_port": 80}
+
+    def setup(self) -> None:
         self.delayed_rules = 0
 
     def intercept(self, flowmod, apply) -> bool:
         if flowmod.match.value_of("tp_dst") != self.http_port:
             return False
         self.delayed_rules += 1
+        self.count("rules_delayed")
         self.sim.schedule_callback(self.delay, apply, flowmod, self.sim.now + self.delay)
         return True
 

@@ -1,0 +1,52 @@
+"""Switch-lifecycle faults: crash and restart with a flow-table wipe.
+
+A power or software failure takes the whole switch down: ports go dark (all
+packets in or out are lost), the data-plane table is wiped, and — unless
+configured otherwise — the control-plane table with it.  On restart the
+switch comes back *empty*: whatever forwarding state the controller had
+installed is gone until something reinstalls it, which is exactly the
+recovery burden the fault-tolerance literature (and the related Megaphone
+migration machinery) puts on the control plane.
+"""
+
+from __future__ import annotations
+
+from repro.faults.base import LifecycleFault
+from repro.faults.registry import register_fault
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (import cycle via repro.switches)
+    from repro.switches.base import Switch
+
+
+@register_fault
+class SwitchCrashFault(LifecycleFault):
+    """Crash the switch at ``at`` seconds; restart it ``restart_after`` seconds later."""
+
+    name = "switch-crash"
+    param_defaults = {
+        "at": 0.5,
+        #: Seconds down before restarting; ``0`` means the switch stays dead.
+        "restart_after": 0.5,
+        "wipe_control_plane": True,
+    }
+
+    def validate(self) -> None:
+        if self.at < 0:
+            raise ValueError("at must be >= 0")
+        if self.restart_after < 0:
+            raise ValueError("restart_after must be >= 0")
+
+    def schedule(self, switch: "Switch") -> None:
+        self.sim.schedule_callback(max(0.0, self.at - self.sim.now),
+                                   self._crash, switch)
+
+    def _crash(self, switch: "Switch") -> None:
+        switch.crash(wipe_control_plane=bool(self.wipe_control_plane))
+        self.count("crashes")
+        if self.restart_after > 0:
+            self.sim.schedule_callback(self.restart_after, self._restore, switch)
+
+    def _restore(self, switch: "Switch") -> None:
+        switch.restore()
+        self.count("restarts")

@@ -1,0 +1,280 @@
+"""Declarative fault plans and their arming against a built network.
+
+A :class:`FaultPlan` is the data-only description of "which fault models run
+where, with which parameters, under which seed" — encoded like
+:class:`~repro.session.spec.StackSpec` as a plain JSON-able structure so it
+travels inside ``SessionSpec.config()``, campaign cell configurations and
+result records.  Two codecs exist:
+
+* :meth:`FaultPlan.as_dict` / :meth:`FaultPlan.from_dict` — the canonical
+  round-tripping JSON form (session/record provenance);
+* :meth:`FaultPlan.to_string` / :meth:`FaultPlan.from_string` — a compact
+  one-line form for CLI axes and campaign grids, e.g.::
+
+      ack-loss(probability=0.3)
+      delay-spike(probability=0.05,spike=2.0)@s1|s2+switch-crash(at=0.4)@s1
+
+  ``+`` separates fault specs, ``(...)`` carries parameters, ``@`` restricts
+  the spec to named switches (``|``-separated); no ``@`` means topology-wide.
+
+:func:`arm_fault_plan` instantiates one fault-model instance per (spec,
+target switch) pair — each with a deterministically forked RNG, so schedules
+are reproducible under a fixed seed regardless of arming order — and
+installs the per-layer harnesses.  An empty (or absent) plan arms nothing:
+the fault-free path is byte-identical to a build without this subsystem.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from repro.faults.base import CONTROL_CHANNEL, DATA_PLANE, FaultModel
+from repro.faults.harness import ControlChannelHarness, DataPlaneFaultHarness
+from repro.faults.registry import get_fault
+from repro.sim.rng import SeededRandom
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle
+    # through repro.switches, which re-exports the legacy fault names)
+    from repro.net.network import Network
+    from repro.sim.kernel import Simulator
+
+#: Spellings of "no faults" accepted wherever a plan string is expected.
+NO_FAULTS = ("", "none")
+
+_SPEC_PATTERN = re.compile(
+    r"^(?P<name>[a-z0-9][a-z0-9-]*)"
+    r"(?:\((?P<params>[^)]*)\))?"
+    r"(?:@(?P<targets>[^()+]+))?$"
+)
+
+
+def split_outside_parens(text: str, separator: str) -> List[str]:
+    """Split ``text`` on ``separator`` occurrences outside parentheses.
+
+    Parameter lists carry their own separators — ``spike=1e+20`` holds a
+    ``+``, ``ack-loss(probability=0.3,spike=2)`` holds commas — so both the
+    ``+`` between fault specs and the ``,`` between CLI axis entries must
+    only split at nesting depth zero.  Empty/whitespace items are dropped.
+    """
+    items, token, depth = [], "", 0
+    for char in text:
+        if char == separator and depth == 0:
+            items.append(token)
+            token = ""
+            continue
+        depth += {"(": 1, ")": -1}.get(char, 0)
+        token += char
+    items.append(token)
+    return [item for item in (token.strip() for token in items) if item]
+
+
+def _parse_scalar(text: str) -> object:
+    """Parse a parameter value: int, then float, then bool, then string."""
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            pass
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    return text
+
+
+def _encode_scalar(value: object) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault model applied to some (or all) switches."""
+
+    #: Registry name of the fault model.
+    fault: str
+    #: Parameter overrides (defaults of the model fill the rest).
+    params: Dict[str, object] = field(default_factory=dict)
+    #: Switch names the fault attaches to; empty means every switch.
+    targets: Tuple[str, ...] = ()
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "fault": self.fault,
+            "params": dict(self.params),
+            "targets": list(self.targets),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "FaultSpec":
+        return cls(
+            fault=payload["fault"],
+            params=dict(payload.get("params") or {}),
+            targets=tuple(payload.get("targets") or ()),
+        )
+
+    def to_string(self) -> str:
+        text = self.fault
+        if self.params:
+            encoded = ",".join(f"{key}={_encode_scalar(self.params[key])}"
+                               for key in sorted(self.params))
+            text += f"({encoded})"
+        if self.targets:
+            text += "@" + "|".join(self.targets)
+        return text
+
+    @classmethod
+    def from_string(cls, text: str) -> "FaultSpec":
+        matched = _SPEC_PATTERN.match(text.strip())
+        if not matched:
+            raise ValueError(
+                f"cannot parse fault spec {text!r} "
+                "(expected name(key=value,...)@switch|switch)"
+            )
+        params: Dict[str, object] = {}
+        for item in (matched.group("params") or "").split(","):
+            item = item.strip()
+            if not item:
+                continue
+            if "=" not in item:
+                raise ValueError(f"fault parameter {item!r} is not key=value")
+            key, _, value = item.partition("=")
+            params[key.strip()] = _parse_scalar(value.strip())
+        targets = tuple(
+            target.strip()
+            for target in (matched.group("targets") or "").split("|")
+            if target.strip()
+        )
+        return cls(fault=matched.group("name"), params=params, targets=targets)
+
+
+@dataclass
+class FaultPlan:
+    """A seeded set of :class:`FaultSpec` entries for one run.
+
+    An empty plan is exactly the fault-free path — ``SessionSpec`` treats
+    ``faults=None`` and ``faults=FaultPlan()`` identically.
+    """
+
+    specs: List[FaultSpec] = field(default_factory=list)
+    #: Root seed of every fault schedule; ``None`` derives it from the
+    #: session seed so one seed knob still determines the whole run.
+    seed: Optional[int] = None
+
+    def empty(self) -> bool:
+        return not self.specs
+
+    def validate(self) -> None:
+        """Resolve every fault name and instantiate once to check parameters."""
+        for spec in self.specs:
+            get_fault(spec.fault).instantiate(**spec.params)
+
+    # -- codecs ---------------------------------------------------------------
+    def as_dict(self) -> Dict[str, object]:
+        """Canonical JSON form; :meth:`from_dict` round-trips it exactly."""
+        return {
+            "specs": [spec.as_dict() for spec in self.specs],
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Optional[Dict[str, object]]) -> "FaultPlan":
+        if payload is None:
+            return cls()
+        return cls(
+            specs=[FaultSpec.from_dict(entry)
+                   for entry in payload.get("specs") or []],
+            seed=payload.get("seed"),
+        )
+
+    def to_string(self) -> str:
+        """Compact one-line form (campaign axes); ``"none"`` when empty."""
+        if self.empty():
+            return "none"
+        return "+".join(spec.to_string() for spec in self.specs)
+
+    @classmethod
+    def from_string(cls, text: Optional[str],
+                    seed: Optional[int] = None) -> "FaultPlan":
+        if text is None or text.strip().lower() in NO_FAULTS:
+            return cls(seed=seed)
+        return cls(
+            specs=[FaultSpec.from_string(part)
+                   for part in split_outside_parens(text, "+")],
+            seed=seed,
+        )
+
+    def describe(self) -> str:
+        """Short human-readable label for progress output and reports."""
+        return self.to_string()
+
+
+class ArmedFaults:
+    """Handle on every fault instance armed for one run."""
+
+    def __init__(self) -> None:
+        #: ``(target switch, fault instance)`` in arming order.
+        self.instances: List[Tuple[str, FaultModel]] = []
+        self.harnesses: List[object] = []
+
+    def counters(self) -> Dict[str, int]:
+        """``"<fault>.<event>" -> count`` aggregated over all target switches."""
+        totals: Dict[str, int] = {}
+        for _target, fault in self.instances:
+            for event, count in fault.counters().items():
+                key = f"{fault.name}.{event}"
+                totals[key] = totals.get(key, 0) + count
+        return totals
+
+    def remove(self) -> None:
+        """Detach every harness (lifecycle actions already scheduled remain)."""
+        for harness in self.harnesses:
+            harness.remove()
+
+
+def arm_fault_plan(
+    sim: "Simulator",
+    network: "Network",
+    plan: Optional[FaultPlan],
+    default_seed: int = 7,
+) -> ArmedFaults:
+    """Instantiate and install ``plan`` against ``network``.
+
+    Every (spec, target) pair gets its own fault instance and an RNG forked
+    by a label — ``fault:<index>:<name>:<target>`` — from the plan seed (or
+    ``default_seed``), so schedules are deterministic and independent of both
+    arming order and how many other faults the plan carries.
+    """
+    armed = ArmedFaults()
+    if plan is None or plan.empty():
+        return armed
+    root = SeededRandom(plan.seed if plan.seed is not None else default_seed)
+    dataplane_faults: Dict[str, List[FaultModel]] = {}
+    control_faults: Dict[str, List[FaultModel]] = {}
+    for index, spec in enumerate(plan.specs):
+        entry = get_fault(spec.fault)
+        targets: Sequence[str] = spec.targets or network.switch_names()
+        for target in targets:
+            if target not in network.switches:
+                raise ValueError(
+                    f"fault {spec.fault!r} targets unknown switch {target!r}; "
+                    f"switches: {network.switch_names()}"
+                )
+            fault = entry.instantiate(**spec.params)
+            fault.arm(sim, root.fork(f"fault:{index}:{spec.fault}:{target}"))
+            armed.instances.append((target, fault))
+            if entry.layer == DATA_PLANE:
+                dataplane_faults.setdefault(target, []).append(fault)
+            elif entry.layer == CONTROL_CHANNEL:
+                control_faults.setdefault(target, []).append(fault)
+            else:
+                fault.schedule(network.switch(target))
+    for name, faults in dataplane_faults.items():
+        armed.harnesses.append(DataPlaneFaultHarness(network.switch(name), faults))
+    for name, faults in control_faults.items():
+        armed.harnesses.append(
+            ControlChannelHarness(network.control_connections[name], faults)
+        )
+    return armed

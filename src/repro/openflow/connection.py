@@ -22,6 +22,10 @@ from repro.openflow.messages import OFMessage
 from repro.sim.kernel import Simulator
 
 MessageHandler = Callable[[OFMessage], None]
+#: A fault interceptor: ``(from_side, message) -> consumed``.  Returning
+#: ``True`` means the interceptor took over delivery (dropped, delayed or
+#: replaced the message); ``False`` lets normal delivery proceed.
+TransmitIntercept = Callable[[int, OFMessage], bool]
 
 
 class ConnectionEndpoint:
@@ -91,6 +95,9 @@ class Connection:
         self._last_delivery = [0.0, 0.0]
         self.messages_in_flight = 0
         self.total_messages = 0
+        #: Optional fault interceptor (see :mod:`repro.faults.control`);
+        #: ``None`` — the default — is the lossless fixed-latency channel.
+        self._intercept: Optional[TransmitIntercept] = None
 
     # -- endpoints -----------------------------------------------------------
     def endpoint(self, side: int) -> ConnectionEndpoint:
@@ -107,10 +114,32 @@ class Connection:
         """The second endpoint (conventionally the controller side)."""
         return self._endpoints[1]
 
+    # -- fault interception --------------------------------------------------
+    def install_intercept(self, intercept: TransmitIntercept) -> None:
+        """Route every transmission through ``intercept`` (fault injection).
+
+        Only one interceptor can be installed; the fault harness chains
+        multiple fault models behind a single callable.
+        """
+        if self._intercept is not None:
+            raise ValueError(f"connection {self.name!r} already has an interceptor")
+        self._intercept = intercept
+
+    def remove_intercept(self) -> None:
+        """Restore the lossless, fixed-latency behaviour."""
+        self._intercept = None
+
     # -- transmission -----------------------------------------------------------
     def _transmit(self, from_side: int, message: OFMessage) -> None:
+        if self._intercept is not None and self._intercept(from_side, message):
+            return
+        self._schedule_delivery(from_side, message)
+
+    def _schedule_delivery(self, from_side: int, message: OFMessage,
+                           extra_latency: float = 0.0) -> None:
         to_side = 1 - from_side
-        deliver_at = max(self.sim.now + self.latency, self._last_delivery[to_side])
+        deliver_at = max(self.sim.now + self.latency + extra_latency,
+                         self._last_delivery[to_side])
         self._last_delivery[to_side] = deliver_at
         self.messages_in_flight += 1
         self.total_messages += 1

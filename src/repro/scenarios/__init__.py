@@ -7,6 +7,7 @@ Importing this package registers the built-in scenarios:
 ``link-failure``      drain a link of the active path and reroute around it
 ``firewall-rollout``  roll an HTTP-drop policy hop by hop along a path
 ``ecmp-rebalance``    spread spine-pinned flows across all spines
+``fault-sweep``       path migration under injected faults (``--faults``)
 ====================  =====================================================
 
 Typical use::
@@ -38,6 +39,7 @@ from repro.scenarios.generators import (
 
 # Importing the scenario modules populates the registry.
 from repro.scenarios import failure as _failure  # noqa: F401
+from repro.scenarios import fault_sweep as _fault_sweep  # noqa: F401
 from repro.scenarios import firewall_rollout as _firewall_rollout  # noqa: F401
 from repro.scenarios import migration as _migration  # noqa: F401
 from repro.scenarios import rebalance as _rebalance  # noqa: F401

@@ -52,6 +52,11 @@ class ScenarioParams:
     max_update_duration: float = 15.0
     #: Bound K on unconfirmed modifications (``None``: 2 * flow_count, >= 16).
     max_unconfirmed: Optional[int] = None
+    #: Fault plan in its compact string form (see
+    #: :meth:`repro.faults.FaultPlan.from_string`); ``None``/``"none"`` runs
+    #: fault-free.  A string — not a :class:`~repro.faults.plan.FaultPlan` —
+    #: so campaign configs stay hashable and JSON-able.
+    faults: Optional[str] = None
 
     def scaled(self, **overrides) -> "ScenarioParams":
         """A copy with selected fields replaced."""
@@ -130,6 +135,19 @@ class Scenario:
                 executor) -> Dict[str, object]:
         """Scenario-specific result numbers (JSON-able values only)."""
         return {}
+
+    def fault_plan(self):
+        """The :class:`~repro.faults.plan.FaultPlan` this run arms.
+
+        Default: parse :attr:`ScenarioParams.faults` (``None`` — the
+        fault-free path — when unset).  Scenarios built around faults
+        (``fault-sweep``) override this to supply a default mix.
+        """
+        from repro.faults.plan import FaultPlan
+
+        if self.params.faults:
+            return FaultPlan.from_string(self.params.faults)
+        return None
 
 
 #: The registry: scenario name -> scenario class.

@@ -47,6 +47,7 @@ def scenario_session(
         ),
         plan_builder=scenario.build_plan,
         metrics=scenario.metrics,
+        faults=scenario.fault_plan(),
         knobs=SessionKnobs(
             seed=params.seed,
             warmup=params.warmup,

@@ -31,6 +31,7 @@ from repro.analysis.flowstats import (
     update_completion_time,
 )
 from repro.controller.update_plan import PlanExecutor
+from repro.faults.plan import ArmedFaults, arm_fault_plan
 from repro.net.network import Network
 from repro.net.traffic import TrafficGenerator
 from repro.session.record import RunRecord
@@ -67,6 +68,13 @@ def run_session(spec: SessionSpec) -> RunRecord:
     stack.prepare()
     network.start()
     stack.start()
+
+    # 2b. Fault plan -----------------------------------------------------------
+    # Arms nothing when the spec carries no (or an empty) plan, keeping the
+    # fault-free event sequence — and therefore every digest — byte-identical.
+    armed: Optional[ArmedFaults] = None
+    if spec.faults is not None and not spec.faults.empty():
+        armed = arm_fault_plan(sim, network, spec.faults, default_seed=knobs.seed)
 
     # 3. Traffic ----------------------------------------------------------------
     traffic: Optional[TrafficGenerator] = None
@@ -161,4 +169,5 @@ def run_session(spec: SessionSpec) -> RunRecord:
                             if stack.barrier_layer else 0),
         rum_probe_rule_updates=getattr(rum_technique, "probe_rule_updates_sent", 0),
         rum_probes_injected=getattr(rum_technique, "probes_injected", 0),
+        fault_events=armed.counters() if armed is not None else {},
     )

@@ -43,6 +43,7 @@ SUMMARY_KEYS = (
     "tracked_flows",
     "max_broken_time",
     "metrics",
+    "faults",
     "digest",
 )
 
@@ -120,6 +121,9 @@ class RunRecord:
     barrier_layer_held: int = 0
     rum_probe_rule_updates: int = 0
     rum_probes_injected: int = 0
+    #: ``"<fault>.<event>" -> count`` of injected-fault activations, summed
+    #: over target switches (empty for fault-free runs).
+    fault_events: Dict[str, int] = field(default_factory=dict)
 
     # -- legacy accessors (pre-session result classes) -----------------------
     @property
@@ -142,8 +146,13 @@ class RunRecord:
 
     # -- the one serializer ---------------------------------------------------
     def as_dict(self) -> Dict[str, object]:
-        """Canonical JSON-able form; :meth:`from_dict` round-trips it exactly."""
-        return {
+        """Canonical JSON-able form; :meth:`from_dict` round-trips it exactly.
+
+        ``fault_events`` is only present when faults actually fired: keeping
+        the key out of fault-free payloads keeps their :meth:`digest` values
+        identical to records produced before the fault subsystem existed.
+        """
+        payload = {
             "schema": RECORD_SCHEMA,
             "kind": self.kind,
             "technique": self.technique,
@@ -170,6 +179,9 @@ class RunRecord:
             "rum_probe_rule_updates": self.rum_probe_rule_updates,
             "rum_probes_injected": self.rum_probes_injected,
         }
+        if self.fault_events:
+            payload["fault_events"] = dict(self.fault_events)
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Dict[str, object]) -> "RunRecord":
@@ -205,6 +217,7 @@ class RunRecord:
             barrier_layer_held=payload.get("barrier_layer_held", 0),
             rum_probe_rule_updates=payload.get("rum_probe_rule_updates", 0),
             rum_probes_injected=payload.get("rum_probes_injected", 0),
+            fault_events=dict(payload.get("fault_events") or {}),
         )
 
     def summary(self) -> Dict[str, object]:
@@ -231,6 +244,7 @@ class RunRecord:
             "tracked_flows": len(self.stats),
             "max_broken_time": self.max_broken_time,
             "metrics": dict(self.metrics),
+            "faults": dict(self.fault_events),
             "digest": self.digest(),
         }
 

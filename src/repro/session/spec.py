@@ -20,6 +20,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Union
 
 from repro.controller.update_plan import UpdatePlan
 from repro.core.techniques.registry import RegisteredTechnique, resolve_technique
+from repro.faults.plan import FaultPlan
 from repro.net.network import Network
 from repro.net.topology import Topology
 from repro.net.traffic import FlowSpec
@@ -118,6 +119,9 @@ class SessionSpec:
     plan_builder: PlanBuilder
     stack: StackSpec = field(default_factory=StackSpec)
     knobs: SessionKnobs = field(default_factory=SessionKnobs)
+    #: Faults armed against the network for this run (``None`` or an empty
+    #: plan: the byte-identical fault-free path).  See :mod:`repro.faults`.
+    faults: Optional[FaultPlan] = None
     activation_probe: Optional[ActivationProbe] = None
     metrics: Optional[MetricsHook] = None
     #: Session kind recorded on the result (``"path-migration"``, ...).
@@ -148,6 +152,10 @@ class SessionSpec:
                 "buffer_after_barrier": self.stack.buffer_after_barrier,
             },
             "knobs": asdict(self.knobs),
+            # An empty plan normalises to None: both mean the fault-free path.
+            "faults": (self.faults.as_dict()
+                       if self.faults is not None and not self.faults.empty()
+                       else None),
         }
 
     def run(self):

@@ -64,6 +64,10 @@ class Switch:
         self._ports: Dict[int, PortTransmit] = {}
         self._controller_endpoint: Optional[ConnectionEndpoint] = None
         self._started = False
+        self._crashed = False
+        #: Bumped on every crash; work captured under an older epoch (a
+        #: delayed fault callback, a handler mid-yield) must not take effect.
+        self.crash_epoch = 0
 
         # Counters used by tests and the microbenchmarks.
         self.packets_received = 0
@@ -95,15 +99,45 @@ class Switch:
         self._started = True
         self.controlplane.start()
 
+    # -- lifecycle faults --------------------------------------------------------
+    @property
+    def crashed(self) -> bool:
+        """Whether the switch is currently down (see :meth:`crash`)."""
+        return self._crashed
+
+    def crash(self, wipe_control_plane: bool = True) -> None:
+        """Power-fail the switch: ports go dark and the flow tables are wiped.
+
+        While crashed, every packet arriving on a port and every message on
+        the control connection is silently lost, and in-flight data-plane
+        synchronisation state is discarded.  ``wipe_control_plane=False``
+        models a data-plane-only reset (line-card reboot): the agent's table
+        survives but packets hit an empty data plane until something
+        re-synchronises it.
+        """
+        self._crashed = True
+        self.crash_epoch += 1
+        self.dataplane.wipe()
+        self.controlplane.crash_reset(wipe_table=wipe_control_plane)
+
+    def restore(self) -> None:
+        """Bring a crashed switch back up — with whatever (empty) tables it has."""
+        self._crashed = False
+        self.controlplane.restore()
+
     # -- control plane output ---------------------------------------------------
     def _send_to_controller(self, message: OFMessage) -> None:
-        if self._controller_endpoint is None:
+        # A crashed switch's connection is down: nothing it was about to say
+        # (echo/barrier replies queued behind processing delays) gets out.
+        if self._controller_endpoint is None or self._crashed:
             return
         self._controller_endpoint.send(message)
 
     # -- data plane ----------------------------------------------------------------
     def receive_packet(self, packet: Packet, in_port: int) -> None:
         """A packet arrived on ``in_port``; classify and forward it."""
+        if self._crashed:
+            return
         self.packets_received += 1
         packet.trace.append((self.sim.now, self.name))
         self.sim.schedule_callback(
@@ -111,6 +145,8 @@ class Switch:
         )
 
     def _forward(self, packet: Packet, in_port: int) -> None:
+        if self._crashed:
+            return
         result = self.dataplane.process_packet(packet, in_port)
         if result.to_controller:
             self.packets_to_controller += 1
@@ -128,6 +164,8 @@ class Switch:
 
     def inject_packet(self, packet: Packet, actions: List[Action], in_port: int) -> None:
         """PacketOut semantics: apply ``actions`` to ``packet`` and emit it."""
+        if self._crashed:
+            return
         forwarded = packet.copy()
         ports = apply_actions(forwarded, actions)
         for port in ports:

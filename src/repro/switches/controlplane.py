@@ -147,6 +147,12 @@ class ControlPlane:
         self.packet_ins_sent = 0
 
         self._processes_started = False
+        #: Set while the switch is crashed (lifecycle faults): inbound
+        #: messages are lost and queued ones are discarded unprocessed.
+        self.crashed = False
+        #: Bumped on every crash; a handler that started before a crash must
+        #: not take effect after it, even once the switch has restarted.
+        self.crash_epoch = 0
 
     # -- lifecycle -----------------------------------------------------------
     def start(self) -> None:
@@ -162,7 +168,26 @@ class ControlPlane:
 
     def receive(self, message: OFMessage) -> None:
         """Entry point for messages arriving on the controller connection."""
+        if self.crashed:
+            # The TCP connection of a crashed switch is gone; anything the
+            # controller still had in flight is lost.
+            return
         self.inbox.put(message)
+
+    def crash_reset(self, wipe_table: bool = True) -> None:
+        """Drop all in-flight state on a switch crash (lifecycle faults)."""
+        self.crashed = True
+        self.crash_epoch += 1
+        self.inbox.clear()
+        self._pending_ops.clear()
+        self._barrier_waiters.clear()
+        self._stolen_time = 0.0
+        if wipe_table:
+            self.table.clear()
+
+    def restore(self) -> None:
+        """Accept control-channel traffic again after a restart."""
+        self.crashed = False
 
     # -- properties ------------------------------------------------------------
     @property
@@ -174,6 +199,9 @@ class ControlPlane:
     def _main_loop(self):
         while True:
             message = yield self.inbox.get()
+            if self.crashed:
+                # Messages queued before the crash die with the agent.
+                continue
             # Time stolen by PacketIn encapsulation since the last message is
             # charged here, serialising it with FlowMod processing the way a
             # single management CPU would.
@@ -206,11 +234,16 @@ class ControlPlane:
 
     # -- FlowMod ---------------------------------------------------------------------
     def _handle_flowmod(self, flowmod: FlowMod):
+        epoch = self.crash_epoch
         processing = self.rng.jitter(
             self.profile.flowmod_processing_time(len(self.table)),
             self.profile.flowmod_jitter,
         )
         yield processing
+        if self.crashed or self.crash_epoch != epoch:
+            # The agent died mid-processing (even if it restarted since):
+            # the modification is lost and must not touch the wiped tables.
+            return
         try:
             self.table.apply_flowmod(flowmod, now=self.sim.now)
         except TableFullError:
@@ -230,6 +263,10 @@ class ControlPlane:
             self._pending_ops.append(operation)
 
     def _apply_operation(self, operation: PendingOperation) -> None:
+        if self.crashed:
+            # A sync loop woke up with an operation popped before the crash;
+            # the data plane of a dead switch must stay wiped.
+            return
         self._apply_to_dataplane(operation.flowmod, self.sim.now)
         operation.applied = True
         operation.applied_at = self.sim.now
@@ -237,7 +274,10 @@ class ControlPlane:
 
     # -- barriers ---------------------------------------------------------------------
     def _handle_barrier(self, request: BarrierRequest):
+        epoch = self.crash_epoch
         yield self.profile.trivial_processing_time
+        if self.crashed or self.crash_epoch != epoch:
+            return
         self._barrier_epoch += 1
         if (self.profile.barrier_mode == BarrierMode.CONTROL_PLANE
                 or not self._pending_ops):
@@ -264,7 +304,10 @@ class ControlPlane:
 
     # -- PacketOut / PacketIn -------------------------------------------------------------
     def _handle_packet_out(self, message: PacketOut):
+        epoch = self.crash_epoch
         yield self.profile.packet_out_processing_time
+        if self.crashed or self.crash_epoch != epoch:
+            return
         self.packet_outs_processed += 1
         # Enforce the hardware PacketOut rate cap on the egress side.
         spacing = 1.0 / self.profile.packet_out_rate
@@ -290,7 +333,10 @@ class ControlPlane:
 
     # -- statistics ---------------------------------------------------------------------------
     def _handle_stats(self, request: StatsRequest):
+        epoch = self.crash_epoch
         yield self.profile.trivial_processing_time
+        if self.crashed or self.crash_epoch != epoch:
+            return
         if request.stats_type == StatsType.FLOW:
             body = [
                 {
@@ -322,6 +368,7 @@ class ControlPlane:
         yield self.rng.uniform(0.0, max(self.profile.sync_period, 1e-6))
         while True:
             if self._pending_ops:
+                epoch = self.crash_epoch
                 batch = list(self._pending_ops)
                 self._pending_ops.clear()
                 if self.profile.reorders_across_barriers and len(batch) > 1:
@@ -329,6 +376,8 @@ class ControlPlane:
                 for operation in batch:
                     if self.profile.sync_per_rule_time > 0:
                         yield self.profile.sync_per_rule_time
+                    if self.crash_epoch != epoch:
+                        break  # the rest of the batch died with the switch
                     self._apply_operation(operation)
             yield self.profile.sync_period
 
@@ -356,7 +405,10 @@ class ControlPlane:
                 1.0 + self.profile.dataplane_occupancy_slowdown * applied
             )
             earliest = operation.control_applied_at + self.profile.dataplane_extra_latency
+            epoch = self.crash_epoch
             wait = max(spacing, earliest - self.sim.now)
             yield wait
+            if self.crash_epoch != epoch:
+                continue  # the popped operation died with the switch
             self._apply_operation(operation)
             applied += 1

@@ -76,6 +76,11 @@ class DataPlane:
         """Number of rules currently visible to packets."""
         return len(self.table)
 
+    def wipe(self) -> None:
+        """Crash semantics: every rule vanishes from the data plane at once."""
+        self.table.clear()
+        self._lookup_cache.clear()
+
     # -- packet processing --------------------------------------------------------
     def _cache_key(self, packet: Packet, in_port: int) -> Tuple:
         """Full-header cache key: the fixed-order value array with ``in_port``.

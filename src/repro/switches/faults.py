@@ -1,134 +1,32 @@
-"""Fault injection for switch behaviour.
+"""Deprecated shim: fault injection moved to :mod:`repro.faults`.
 
-The evaluation in the paper relies on naturally-occurring switch bugs; the
-fault injectors below let tests and ablation benchmarks create those
-conditions on demand and in a controlled way:
+The ad-hoc wrappers that used to live here grew into a full subsystem — a
+fault-model registry, control-channel and lifecycle faults, and declarative
+:class:`~repro.faults.plan.FaultPlan` support on every session — under
+``src/repro/faults/``.  This module re-exports the historical names so
+existing imports keep working:
 
-* :class:`DelaySpikeFault` — occasionally the control→data plane lag jumps to
-  several seconds ("in hard to predict corner cases, the delay may reach
-  several seconds"), which breaks static-timeout techniques.
-* :class:`ReorderFault` — modifications are applied to the data plane out of
-  order, which breaks sequential probing but not general probing.
+* ``Fault`` is now :class:`repro.faults.base.DataPlaneFault` (same
+  ``arm``/``intercept`` contract);
+* ``DelaySpikeFault`` / ``ReorderFault`` are the registered ``delay-spike``
+  and ``reorder`` models (same parameters, same RNG draws);
+* ``FaultInjector`` is the legacy arm-and-wrap harness.
 
-A :class:`FaultInjector` wraps a switch's ``apply_to_dataplane`` hook, so the
-fault sits exactly at the control/data plane boundary where the real bugs
-live.
+New code should import from :mod:`repro.faults` and describe faults with a
+:class:`~repro.faults.plan.FaultPlan`.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Tuple
+from repro.faults.base import DataPlaneFault as Fault
+from repro.faults.dataplane import DelaySpikeFault, ReorderFault, RuleDropFault
+from repro.faults.harness import DataPlaneFaultHarness, FaultInjector
 
-from repro.openflow.messages import FlowMod
-from repro.sim.kernel import Simulator
-from repro.sim.rng import SeededRandom
-from repro.switches.base import Switch
-
-
-class Fault:
-    """Base class: a transformation of (flowmod, apply_time) streams."""
-
-    def arm(self, sim: Simulator, rng: SeededRandom) -> None:
-        """Bind to the simulation before first use."""
-        self.sim = sim
-        self.rng = rng
-
-    def intercept(
-        self, flowmod: FlowMod, apply: Callable[[FlowMod, float], None]
-    ) -> bool:
-        """Handle one data-plane application.
-
-        Returns ``True`` when the fault consumed the application (it will
-        apply it later itself), ``False`` to let it proceed normally.
-        """
-        raise NotImplementedError
-
-
-class DelaySpikeFault(Fault):
-    """With probability ``probability`` delay an application by ``spike`` seconds."""
-
-    def __init__(self, probability: float = 0.01, spike: float = 2.0) -> None:
-        if not 0.0 <= probability <= 1.0:
-            raise ValueError("probability must be in [0, 1]")
-        self.probability = probability
-        self.spike = spike
-        self.spikes_injected = 0
-
-    def intercept(self, flowmod: FlowMod, apply: Callable[[FlowMod, float], None]) -> bool:
-        if self.rng.uniform(0.0, 1.0) >= self.probability:
-            return False
-        self.spikes_injected += 1
-        self.sim.schedule_callback(self.spike, apply, flowmod, self.sim.now + self.spike)
-        return True
-
-
-class ReorderFault(Fault):
-    """Hold applications in a small buffer and release them in shuffled order."""
-
-    def __init__(self, window: int = 4, hold_time: float = 0.02) -> None:
-        if window < 2:
-            raise ValueError("window must be >= 2")
-        self.window = window
-        self.hold_time = hold_time
-        self._buffer: List[FlowMod] = []
-        self._apply: Optional[Callable[[FlowMod, float], None]] = None
-        self.reorders_performed = 0
-
-    def intercept(self, flowmod: FlowMod, apply: Callable[[FlowMod, float], None]) -> bool:
-        self._apply = apply
-        self._buffer.append(flowmod)
-        if len(self._buffer) >= self.window:
-            self._flush()
-        else:
-            self.sim.schedule_callback(self.hold_time, self._flush_if_stale, len(self._buffer))
-        return True
-
-    def _flush_if_stale(self, expected_size: int) -> None:
-        if self._buffer and len(self._buffer) <= expected_size:
-            self._flush()
-
-    def _flush(self) -> None:
-        if not self._buffer or self._apply is None:
-            return
-        batch, self._buffer = self._buffer, []
-        shuffled = self.rng.shuffle(batch)
-        if shuffled != batch:
-            self.reorders_performed += 1
-        for flowmod in shuffled:
-            self._apply(flowmod, self.sim.now)
-
-
-class FaultInjector:
-    """Installs faults at a switch's control→data plane boundary."""
-
-    def __init__(self, switch: Switch, faults: List[Fault], seed: int = 7) -> None:
-        self.switch = switch
-        self.faults = faults
-        self.rng = SeededRandom(seed)
-        self._original_apply = switch.dataplane.apply_flowmod
-        for fault in faults:
-            fault.arm(switch.sim, self.rng.fork(type(fault).__name__))
-        # Redirect the control plane's data-plane hook through the faults.
-        switch.controlplane._apply_to_dataplane = self._apply_with_faults
-
-    def _apply_with_faults(self, flowmod: FlowMod, now: float) -> None:
-        for fault in self.faults:
-            if fault.intercept(flowmod, self._original_apply):
-                return
-        self._original_apply(flowmod, now)
-
-    def remove(self) -> None:
-        """Restore the unfaulted behaviour."""
-        self.switch.controlplane._apply_to_dataplane = self._original_apply
-
-    def injected_counts(self) -> List[Tuple[str, int]]:
-        """``(fault name, activation count)`` pairs for reporting."""
-        counts = []
-        for fault in self.faults:
-            if isinstance(fault, DelaySpikeFault):
-                counts.append((type(fault).__name__, fault.spikes_injected))
-            elif isinstance(fault, ReorderFault):
-                counts.append((type(fault).__name__, fault.reorders_performed))
-            else:
-                counts.append((type(fault).__name__, 0))
-        return counts
+__all__ = [
+    "DataPlaneFaultHarness",
+    "DelaySpikeFault",
+    "Fault",
+    "FaultInjector",
+    "ReorderFault",
+    "RuleDropFault",
+]

@@ -175,8 +175,9 @@ class TestReport:
         ]
         rows = aggregate(records)
         assert len(rows) == 1
-        scenario, technique, cells, duration, _mut, dropped, violations, digests = rows[0]
-        assert (scenario, technique, cells) == ("s", "barrier", 2)
+        (scenario, technique, fault, cells, duration, _mut, dropped,
+         violations, digests) = rows[0]
+        assert (scenario, technique, fault, cells) == ("s", "barrier", "none", 2)
         assert duration == pytest.approx(0.2)
         assert dropped == 4
         assert violations == 2
