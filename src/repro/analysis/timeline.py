@@ -1,0 +1,265 @@
+"""Per-rule lifecycle timelines from a :class:`~repro.obs.events.TraceLog`.
+
+Where :mod:`repro.analysis.activation` correlates two end-of-run logs, this
+module reads the full trace of a session and reconstructs every rule's
+lifecycle — issued, sent, received, applied to the control plane,
+acknowledged, activated in hardware — as one :class:`RuleLifecycle` per
+``(switch, xid)``.  The headline quantity is the **activation gap**
+
+    ``ack_received - hw_activated``
+
+per rule, with the paper's sign convention (negative = the controller was
+told the rule was active before packets could hit it — the unsafe early
+acknowledgment; positive = wasted waiting time).  Rules acknowledged but
+*never* activated get an infinite gap and are reported separately.
+
+Renderers produce the per-switch activation-gap report and the fault-overlay
+view (what each armed fault model was doing while gaps were open).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.events import (
+    PHASE_ACK_RECEIVED,
+    PHASE_ACK_SENT,
+    PHASE_CONTROL_APPLIED,
+    PHASE_FAULT,
+    PHASE_HW_ACTIVATED,
+    PHASE_MSG_SENT,
+    PHASE_SWITCH_RECEIVED,
+    PHASE_UPDATE_ISSUED,
+    TraceLog,
+)
+
+
+@dataclass
+class RuleLifecycle:
+    """The traced lifecycle of one rule modification on one switch."""
+
+    switch: str
+    xid: int
+    issued: Optional[float] = None
+    msg_sent: Optional[float] = None
+    switch_received: Optional[float] = None
+    control_applied: Optional[float] = None
+    ack_sent: Optional[float] = None
+    ack_received: Optional[float] = None
+    hw_activated: Optional[float] = None
+    #: Who confirmed the rule (technique detail on the ack-sent event).
+    confirmed_by: str = ""
+
+    @property
+    def acknowledged(self) -> bool:
+        return self.ack_received is not None
+
+    @property
+    def activated(self) -> bool:
+        return self.hw_activated is not None
+
+    @property
+    def activation_gap(self) -> Optional[float]:
+        """``ack_received - hw_activated`` (paper sign: negative = early ack).
+
+        ``+inf`` for rules acknowledged but never activated — the paper's
+        worst case, an acknowledgment for a rule that never forwards.
+        ``None`` when the rule was never acknowledged (nothing to compare).
+        """
+        if self.ack_received is None:
+            return None
+        if self.hw_activated is None:
+            return math.inf
+        return self.ack_received - self.hw_activated
+
+    @property
+    def control_to_hw_lag(self) -> Optional[float]:
+        """How long the data plane trailed the control plane for this rule."""
+        if self.control_applied is None or self.hw_activated is None:
+            return None
+        return self.hw_activated - self.control_applied
+
+
+def rule_lifecycles(log: TraceLog) -> Dict[Tuple[str, int], RuleLifecycle]:
+    """Reconstruct every ``(switch, xid)`` lifecycle from a trace.
+
+    Slots keep the *first* occurrence of each phase (re-activations of the
+    same xid — rule overwrites, fault-induced re-applies — do not move the
+    original timestamps), matching how
+    :func:`repro.analysis.activation.dataplane_activation_times` reads the
+    apply log.  ``msg-sent`` events carry the channel name (``ctl-<switch>``
+    or ``<proxy>-<switch>``), so they are matched to a lifecycle by suffix.
+    """
+    lifecycles: Dict[Tuple[str, int], RuleLifecycle] = {}
+    slot_by_phase = {
+        PHASE_UPDATE_ISSUED: "issued",
+        PHASE_SWITCH_RECEIVED: "switch_received",
+        PHASE_CONTROL_APPLIED: "control_applied",
+        PHASE_ACK_SENT: "ack_sent",
+        PHASE_ACK_RECEIVED: "ack_received",
+        PHASE_HW_ACTIVATED: "hw_activated",
+    }
+
+    def lifecycle(switch: str, xid: int) -> RuleLifecycle:
+        key = (switch, xid)
+        entry = lifecycles.get(key)
+        if entry is None:
+            entry = lifecycles[key] = RuleLifecycle(switch=switch, xid=xid)
+        return entry
+
+    for event in log.events:
+        if event.xid is None:
+            continue
+        slot = slot_by_phase.get(event.phase)
+        if slot is not None and event.switch:
+            entry = lifecycle(event.switch, event.xid)
+            if getattr(entry, slot) is None:
+                setattr(entry, slot, event.ts)
+                if event.phase == PHASE_ACK_SENT and event.detail:
+                    entry.confirmed_by = event.detail
+
+    # Second pass: channel sends.  A channel named ``<anything>-<switch>``
+    # carries that switch's control traffic; the first matching send of a
+    # known (switch, xid) pair is the controller-side transmit time.
+    for event in log.events:
+        if event.phase != PHASE_MSG_SENT or event.xid is None:
+            continue
+        for (switch, xid), entry in lifecycles.items():
+            if xid != event.xid or entry.msg_sent is not None:
+                continue
+            if event.switch == switch or event.switch.endswith(f"-{switch}"):
+                entry.msg_sent = event.ts
+
+    return lifecycles
+
+
+def activation_gaps_by_switch(log: TraceLog) -> Dict[str, List[float]]:
+    """``switch -> sorted activation gaps`` of every acknowledged rule."""
+    gaps: Dict[str, List[float]] = {}
+    for (switch, _xid), entry in sorted(rule_lifecycles(log).items()):
+        gap = entry.activation_gap
+        if gap is not None:
+            gaps.setdefault(switch, []).append(gap)
+    for values in gaps.values():
+        values.sort()
+    return gaps
+
+
+def activation_gap_summary(log: TraceLog) -> Dict[str, Dict[str, float]]:
+    """Per-switch distribution summary of the activation gaps.
+
+    Gap values are the paper's per-rule ``ack - activation`` delays;
+    ``early`` counts the unsafe (negative) ones and ``never`` the
+    acknowledged-but-never-activated rules (excluded from min/max/mean).
+    """
+    summary: Dict[str, Dict[str, float]] = {}
+    for switch, gaps in activation_gaps_by_switch(log).items():
+        finite = [gap for gap in gaps if math.isfinite(gap)]
+        entry: Dict[str, float] = {
+            "rules": len(gaps),
+            "early": sum(1 for gap in gaps if gap < 0),
+            "never": sum(1 for gap in gaps if math.isinf(gap)),
+        }
+        if finite:
+            entry.update(
+                min=min(finite),
+                max=max(finite),
+                mean=sum(finite) / len(finite),
+            )
+        summary[switch] = entry
+    return summary
+
+
+def _fmt_ms(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if math.isinf(value):
+        return "never"
+    return f"{value * 1000.0:+.2f}ms"
+
+
+def render_timeline_report(log: TraceLog, title: str = "") -> str:
+    """Human-readable per-rule lifecycle table with activation gaps."""
+    lines: List[str] = []
+    header = title or f"Rule lifecycle timeline — {log.technique or 'unknown'}"
+    lines.append(header)
+    lines.append("=" * len(header))
+    lifecycles = sorted(rule_lifecycles(log).items())
+    if not lifecycles:
+        lines.append("(no rule lifecycle events in trace)")
+        return "\n".join(lines) + "\n"
+    lines.append(f"{'switch':<8} {'xid':>6} {'issued':>9} {'received':>9} "
+                 f"{'acked':>9} {'hw-active':>9} {'gap':>10}  confirmed-by")
+    for (switch, xid), entry in lifecycles:
+        def stamp(value: Optional[float]) -> str:
+            return f"{value:9.4f}" if value is not None else f"{'-':>9}"
+
+        lines.append(
+            f"{switch:<8} {xid:>6} {stamp(entry.issued)} "
+            f"{stamp(entry.switch_received)} {stamp(entry.ack_received)} "
+            f"{stamp(entry.hw_activated)} {_fmt_ms(entry.activation_gap):>10}  "
+            f"{entry.confirmed_by}"
+        )
+    lines.append("")
+    lines.append("Per-switch activation-gap summary (ack - hw activation; "
+                 "negative = unsafe early ack)")
+    for switch, stats in sorted(activation_gap_summary(log).items()):
+        detail = (f"  {switch}: {int(stats['rules'])} rules, "
+                  f"{int(stats['early'])} early, {int(stats['never'])} never")
+        if "mean" in stats:
+            detail += (f", gap min {_fmt_ms(stats['min'])} / "
+                       f"mean {_fmt_ms(stats['mean'])} / "
+                       f"max {_fmt_ms(stats['max'])}")
+        lines.append(detail)
+    return "\n".join(lines) + "\n"
+
+
+@dataclass
+class FaultOverlap:
+    """One fault activation and the rules that were in flight around it."""
+
+    ts: float
+    switch: str
+    detail: str
+    #: Rules issued but not yet hardware-activated at the fault instant.
+    open_rules: List[Tuple[str, int]] = field(default_factory=list)
+
+
+def fault_overlaps(log: TraceLog) -> List[FaultOverlap]:
+    """Correlate fault activations with rules whose lifecycle was open."""
+    lifecycles = rule_lifecycles(log)
+    overlaps: List[FaultOverlap] = []
+    for event in log.events:
+        if event.phase != PHASE_FAULT:
+            continue
+        open_rules = [
+            (switch, xid)
+            for (switch, xid), entry in sorted(lifecycles.items())
+            if entry.issued is not None and entry.issued <= event.ts
+            and (entry.hw_activated is None or entry.hw_activated > event.ts)
+        ]
+        overlaps.append(FaultOverlap(ts=event.ts, switch=event.switch,
+                                     detail=event.detail,
+                                     open_rules=open_rules))
+    return overlaps
+
+
+def render_fault_overlay(log: TraceLog, title: str = "") -> str:
+    """Fault activations interleaved with the rules they could affect."""
+    lines: List[str] = []
+    header = title or "Fault overlay"
+    lines.append(header)
+    lines.append("=" * len(header))
+    overlaps = fault_overlaps(log)
+    if not overlaps:
+        lines.append("(no fault activations in trace)")
+        return "\n".join(lines) + "\n"
+    for overlap in overlaps:
+        rules = (", ".join(f"{switch}/{xid}"
+                           for switch, xid in overlap.open_rules)
+                 or "none")
+        lines.append(f"t={overlap.ts:9.4f}  {overlap.detail:<32} "
+                     f"@{overlap.switch or '*':<6} open rules: {rules}")
+    return "\n".join(lines) + "\n"

@@ -96,7 +96,7 @@ def main(argv=None) -> int:
     out_path = args.out or Path.cwd() / f"BENCH_{report['revision']}.json"
     out_path.parent.mkdir(parents=True, exist_ok=True)
     out_path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
-    print(f"\nwrote {out_path}")
+    print(f"\nwrote snapshot {out_path.resolve()}")
 
     if args.update_baseline:
         baseline_payload = {}

@@ -17,8 +17,50 @@ import gc
 import resource
 import sys
 import time
+from contextlib import contextmanager
 from dataclasses import asdict, dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, Iterator, List, Optional, Sequence
+
+
+class PhaseProfiler:
+    """Accumulates per-phase wall time inside one benchmark run.
+
+    The harness installs one around each benchmark; benchmark bodies mark
+    their phases with :func:`profiled_phase`.  Re-entering the same phase
+    name accumulates (loops profile naturally).
+    """
+
+    __slots__ = ("phases",)
+
+    def __init__(self) -> None:
+        self.phases: Dict[str, float] = {}
+
+    def record(self, name: str, elapsed: float) -> None:
+        self.phases[name] = self.phases.get(name, 0.0) + elapsed
+
+
+#: The active profiler, installed by :func:`run_spec` for the duration of one
+#: benchmark.  ``None`` outside the harness, which makes ``profiled_phase``
+#: a plain no-op there — benchmark functions stay callable standalone.
+_PROFILER: Optional[PhaseProfiler] = None
+
+
+@contextmanager
+def profiled_phase(name: str) -> Iterator[None]:
+    """Attribute the enclosed block's wall time to phase ``name``.
+
+    No-op (beyond one global read) when no profiler is installed, so
+    benchmark bodies can mark phases unconditionally.
+    """
+    profiler = _PROFILER
+    if profiler is None:
+        yield
+        return
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        profiler.record(name, time.perf_counter() - start)
 
 
 @dataclass
@@ -45,6 +87,9 @@ class BenchResult:
     #: Wall time divided by the reference benchmark's wall time on the same
     #: machine — the unit used for cross-machine regression comparisons.
     normalized: Optional[float] = None
+    #: Per-phase wall-time split (seconds) from :func:`profiled_phase`
+    #: markers inside the benchmark body; empty for unmarked benchmarks.
+    phases: Dict[str, float] = field(default_factory=dict)
     meta: Dict[str, object] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, object]:
@@ -62,9 +107,15 @@ def _peak_rss_kb() -> int:
 
 def run_spec(spec: BenchSpec, scale: str = "quick") -> BenchResult:
     """Run one benchmark and measure it."""
+    global _PROFILER
     gc.collect()
+    profiler = PhaseProfiler()
+    _PROFILER = profiler
     start = time.perf_counter()
-    outcome = spec.fn(scale) or {}
+    try:
+        outcome = spec.fn(scale) or {}
+    finally:
+        _PROFILER = None
     wall = time.perf_counter() - start
     events = outcome.pop("events", None)
     events_per_sec = None
@@ -76,6 +127,8 @@ def run_spec(spec: BenchSpec, scale: str = "quick") -> BenchResult:
         events=events,
         events_per_sec=events_per_sec,
         peak_rss_kb=_peak_rss_kb(),
+        phases={name: round(value, 6)
+                for name, value in profiler.phases.items()},
         meta=dict(outcome),
     )
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 import hashlib
 from typing import Dict, List
 
-from repro.bench.harness import BenchSpec
+from repro.bench.harness import BenchSpec, profiled_phase
 
 #: (quick, full) workload sizes, per benchmark.
 _KERNEL_PROCESSES = {"quick": 50, "full": 100}
@@ -58,11 +58,17 @@ def bench_kernel_steps(scale: str) -> Dict[str, object]:
             yield interval
         done[0] += 1
 
-    for index in range(processes):
-        sim.process(sleeper(0.001 + index * 1e-6), name=f"sleeper-{index}")
-    sim.run()
+    with profiled_phase("setup"):
+        for index in range(processes):
+            sim.process(sleeper(0.001 + index * 1e-6), name=f"sleeper-{index}")
+    with profiled_phase("run"):
+        sim.run()
     assert done[0] == processes
-    return {"events": processes * steps_each, "final_time": round(sim.now, 9)}
+    return {
+        "events": processes * steps_each,
+        "final_time": round(sim.now, 9),
+        "kernel": sim.stats(),
+    }
 
 
 def bench_kernel_callbacks(scale: str) -> Dict[str, object]:
@@ -77,14 +83,16 @@ def bench_kernel_callbacks(scale: str) -> Dict[str, object]:
         fired[0] += 1
 
     batch = getattr(sim, "schedule_many", None)
-    if batch is not None:
-        batch((index * 1e-6, tick) for index in range(count))
-    else:  # pre-optimization kernels lack the bulk API
-        for index in range(count):
-            sim.schedule_callback(index * 1e-6, tick)
-    sim.run()
+    with profiled_phase("schedule"):
+        if batch is not None:
+            batch((index * 1e-6, tick) for index in range(count))
+        else:  # pre-optimization kernels lack the bulk API
+            for index in range(count):
+                sim.schedule_callback(index * 1e-6, tick)
+    with profiled_phase("dispatch"):
+        sim.run()
     assert fired[0] == count
-    return {"events": count}
+    return {"events": count, "kernel": sim.stats()}
 
 
 # -- data plane ----------------------------------------------------------------
@@ -128,19 +136,21 @@ def bench_flowtable_lookup(scale: str) -> Dict[str, object]:
 
     rules = _LOOKUP_RULES[scale]
     lookups = _LOOKUP_PACKETS[scale]
-    table, src_base, dst_base = _build_lookup_table(rules)
-    packets = [
-        make_ip_packet(
-            int_to_ip(src_base + index % (rules + 8)),
-            int_to_ip(dst_base + index % (rules + 8)),
-        )
-        for index in range(64)
-    ]
+    with profiled_phase("setup"):
+        table, src_base, dst_base = _build_lookup_table(rules)
+        packets = [
+            make_ip_packet(
+                int_to_ip(src_base + index % (rules + 8)),
+                int_to_ip(dst_base + index % (rules + 8)),
+            )
+            for index in range(64)
+        ]
     hits = 0
-    for index in range(lookups):
-        entry = table.lookup(packets[index % 64])
-        if entry is not None:
-            hits += 1
+    with profiled_phase("lookup"):
+        for index in range(lookups):
+            entry = table.lookup(packets[index % 64])
+            if entry is not None:
+                hits += 1
     return {"events": lookups, "hits": hits, "rules": len(table)}
 
 

@@ -22,6 +22,7 @@ so re-invoking the same command resumes an interrupted campaign.
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from pathlib import Path
 
@@ -34,6 +35,26 @@ from repro.faults.plan import split_outside_parens
 from repro.scenarios import SCENARIOS, TOPOLOGY_FAMILIES, available_scenarios
 
 DEFAULT_RESULTS = "campaign-results.jsonl"
+
+logger = logging.getLogger("repro.campaign")
+
+
+def setup_logging(verbose: bool = False, quiet: bool = False) -> None:
+    """Configure progress logging for the CLI.
+
+    Progress and status go to stderr through the ``repro.campaign`` logger
+    hierarchy; report tables stay on stdout (scripts and CI pipe them).
+    """
+    level = (logging.DEBUG if verbose
+             else logging.WARNING if quiet else logging.INFO)
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    root = logging.getLogger("repro")
+    root.setLevel(level)
+    # Idempotent under repeated main() calls (tests): one handler, ever.
+    if not any(isinstance(existing, logging.StreamHandler)
+               for existing in root.handlers):
+        root.addHandler(handler)
 
 
 def _csv(value: str):
@@ -58,6 +79,10 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.campaign",
         description="Scenario campaign runner (parallel parameter sweeps).",
     )
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="debug-level progress output")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="warnings and errors only")
     commands = parser.add_subparsers(dest="command", required=True)
 
     commands.add_parser("list", help="list scenarios and topology families")
@@ -87,6 +112,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--chunk-size", type=int, default=None,
                      help="cells dispatched per worker task (default: "
                           "auto, ~4 chunks per worker, max 8)")
+    run.add_argument("--trace", action="store_true",
+                     help="arm rule-lifecycle tracing on every cell and "
+                          "write one Chrome-trace shard per cell (see "
+                          "--trace-dir); the report gains an activation-gap "
+                          "section")
+    run.add_argument("--trace-dir", type=Path, default=None,
+                     help="directory for per-cell trace shards (default: "
+                          "'traces' next to the results file)")
     run.add_argument("--out", type=Path, default=Path(DEFAULT_RESULTS),
                      help="JSON-lines results file (appended; enables resume)")
     run.add_argument("--fresh", action="store_true",
@@ -124,6 +157,7 @@ def cmd_list() -> int:
 def cmd_run(args: argparse.Namespace) -> int:
     if args.quick:
         spec = CampaignSpec.quick()
+        spec.trace = args.trace
     else:
         spec = CampaignSpec(
             scenarios=args.scenarios,
@@ -133,21 +167,27 @@ def cmd_run(args: argparse.Namespace) -> int:
             faults=args.faults,
             topology=args.topology,
             flow_count=args.flows,
+            trace=args.trace,
         )
     spec.validate()
     if args.fresh and args.out.exists():
         args.out.unlink()
     runner = CampaignRunner(spec, args.out, max_workers=args.workers,
-                            chunk_size=args.chunk_size)
+                            chunk_size=args.chunk_size,
+                            trace_dir=args.trace_dir)
     cells = spec.cells()
-    print(f"campaign: {len(cells)} cells "
-          f"({len(spec.scenarios)} scenarios x {len(spec.techniques)} techniques "
-          f"x {len(spec.faults)} faults x {len(spec.scales)} scales "
-          f"x {len(spec.seeds)} seeds), "
-          f"{runner.max_workers} workers -> {args.out}")
-    outcome = runner.run(progress=print)
-    print(f"done: ran {outcome.ran}, skipped {outcome.skipped} "
-          f"(already complete), failed {outcome.failed}")
+    logger.info(
+        "campaign: %d cells (%d scenarios x %d techniques x %d faults "
+        "x %d scales x %d seeds), %d workers -> %s",
+        len(cells), len(spec.scenarios), len(spec.techniques),
+        len(spec.faults), len(spec.scales), len(spec.seeds),
+        runner.max_workers, args.out,
+    )
+    if spec.trace and runner.trace_dir is not None:
+        logger.info("tracing armed: shards -> %s", runner.trace_dir)
+    outcome = runner.run()
+    logger.info("done: ran %d, skipped %d (already complete), failed %d",
+                outcome.ran, outcome.skipped, outcome.failed)
     if not args.no_report:
         print()
         print(render_report(args.out))
@@ -161,6 +201,7 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    setup_logging(verbose=args.verbose, quiet=args.quiet)
     try:
         if args.command == "list":
             return cmd_list()

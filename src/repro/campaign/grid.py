@@ -35,6 +35,8 @@ class CampaignCell:
     max_update_duration: float = 15.0
     #: Fault plan in compact string form (``"none"``: fault-free control run).
     fault: str = "none"
+    #: Arm rule-lifecycle tracing for this cell (see :mod:`repro.obs`).
+    trace: bool = False
 
     def config(self) -> Dict[str, object]:
         """The canonical, JSON-able configuration of this cell.
@@ -43,6 +45,10 @@ class CampaignCell:
         configurations hash to the same ``cell_id`` as before the fault axis
         existed, so resuming a pre-fault-subsystem results file still skips
         its finished cells instead of re-running (and double-counting) them.
+        ``trace`` follows the same only-when-armed rule — and because
+        tracing never changes a cell's outcome, a traced cell_id staying
+        distinct from its untraced twin is intentional: their records carry
+        different payloads (the traced one has gap summaries and a shard).
         """
         config = {
             "scenario": self.scenario,
@@ -56,6 +62,8 @@ class CampaignCell:
         }
         if self.fault.lower() not in NO_FAULTS:
             config["fault"] = self.fault
+        if self.trace:
+            config["trace"] = True
         return config
 
     @property
@@ -77,6 +85,7 @@ class CampaignCell:
             # fault-free control run even for scenarios (fault-sweep) that
             # arm a default mix when the axis is absent.
             faults=self.fault,
+            trace=self.trace,
         )
 
     def describe(self) -> str:
@@ -85,6 +94,8 @@ class CampaignCell:
                  f"topo={self.topology} scale={self.scale} seed={self.seed}")
         if self.fault.lower() not in NO_FAULTS:
             label += f" fault={self.fault}"
+        if self.trace:
+            label += " trace"
         return label
 
 
@@ -105,6 +116,9 @@ class CampaignSpec:
     flow_count: int = 8
     rate_pps: float = 250.0
     max_update_duration: float = 15.0
+    #: Arm rule-lifecycle tracing on every cell (``--trace`` on the CLI);
+    #: the runner then writes one Chrome-trace shard per cell.
+    trace: bool = False
 
     def validate(self) -> None:
         """Reject empty axes and unknown scenario/technique/fault names early."""
@@ -145,6 +159,7 @@ class CampaignSpec:
                 rate_pps=self.rate_pps,
                 max_update_duration=self.max_update_duration,
                 fault=fault,
+                trace=self.trace,
             )
             for scenario, technique, fault, scale, seed in itertools.product(
                 self.scenarios, self.techniques, self.faults, self.scales,

@@ -109,6 +109,65 @@ def render_resilience_report(results_path: Path) -> str:
     )
 
 
+def has_trace_axis(records: List[Dict[str, object]]) -> bool:
+    """Whether any record carries a traced activation-gap summary."""
+    return any(record.get("activation_gaps") for record in records)
+
+
+def activation_gaps(records: List[Dict[str, object]]) -> List[List[object]]:
+    """Per-(technique, fault) activation-gap rows over every traced record.
+
+    Aggregates each record's per-switch gap summary (see
+    :func:`repro.analysis.timeline.activation_gap_summary`) across cells and
+    switches: total rules, unsafe early acknowledgments, rules never
+    activated, and the worst/mean finite gap in milliseconds.  This is the
+    resilience table's time axis — not just *whether* a technique stayed
+    correct under a fault, but by how much its acks led or trailed the
+    hardware.
+    """
+    groups: Dict[Tuple[str, str], List[Dict[str, object]]] = defaultdict(list)
+    for record in records:
+        if record.get("status") not in FINAL_STATUSES:
+            continue
+        gaps = record.get("activation_gaps")
+        if not gaps:
+            continue
+        groups[(record["technique"], _fault_label(record))].append(gaps)
+
+    rows: List[List[object]] = []
+    for (technique, fault), summaries in sorted(groups.items()):
+        rules = early = never = 0
+        means: List[float] = []
+        worst: Optional[float] = None
+        for summary in summaries:
+            for stats in summary.values():
+                rules += int(stats.get("rules", 0))
+                early += int(stats.get("early", 0))
+                never += int(stats.get("never", 0))
+                if "mean" in stats:
+                    means.append(float(stats["mean"]))
+                if "min" in stats:
+                    value = float(stats["min"])
+                    worst = value if worst is None else min(worst, value)
+        rows.append([
+            technique,
+            fault,
+            rules,
+            early,
+            never,
+            f"{_mean(means) * 1000.0:+.2f}" if means else "-",
+            f"{worst * 1000.0:+.2f}" if worst is not None else "-",
+        ])
+    return rows
+
+
+#: Headers of the activation-gap (trace) table.
+ACTIVATION_GAP_HEADERS = [
+    "technique", "fault", "rules", "early acks", "never active",
+    "mean gap [ms]", "worst gap [ms]",
+]
+
+
 def failures(records: List[Dict[str, object]]) -> List[List[object]]:
     """One row per non-ok record."""
     rows = []
@@ -144,6 +203,13 @@ def render_report(results_path: Path) -> str:
             RESILIENCE_HEADERS,
             resilience(records),
             title="Resilience — correctness under fault (incomplete runs included)",
+        ))
+    if has_trace_axis(records):
+        sections.append(format_table(
+            ACTIVATION_GAP_HEADERS,
+            activation_gaps(records),
+            title="Activation gaps — ack vs hardware activation "
+                  "(traced cells; negative = unsafe early ack)",
         ))
     failed = failures(records)
     if failed:

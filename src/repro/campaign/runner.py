@@ -12,6 +12,7 @@ killed — campaign resumes exactly where it left off.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -22,14 +23,23 @@ from typing import Callable, Dict, List, Optional, Set
 from repro.campaign.grid import CampaignCell, CampaignSpec
 from repro.scenarios.engine import run_scenario
 
+logger = logging.getLogger(__name__)
 
-def run_cell(cell: CampaignCell) -> Dict[str, object]:
+
+def run_cell(cell: CampaignCell,
+             trace_dir: Optional[Path] = None) -> Dict[str, object]:
     """Run one grid cell; the unit of work shipped to worker processes.
 
     The cell runs through the unified session API
     (:meth:`~repro.session.spec.SessionSpec.run` via the scenario adapter)
     and its record carries the flat :meth:`~repro.session.record.RunRecord.summary`
     keys plus the session's canonical spec encoding under ``"session"``.
+
+    Traced cells additionally get a per-switch ``activation_gaps`` summary
+    in the record, and — when ``trace_dir`` is set — a Chrome-trace shard
+    written to ``<trace_dir>/<cell_id>.trace.json`` (its path recorded under
+    ``trace_path``).  The full event log never enters the JSONL record: one
+    cell stays one short line.
 
     Never raises: failures come back as ``status: "error"`` records so one
     broken cell cannot take down the campaign (and is retried on resume).
@@ -45,6 +55,17 @@ def run_cell(cell: CampaignCell) -> Dict[str, object]:
         record.update(result.summary())
         record["session"] = dict(result.spec)
         record["status"] = "ok" if result.completed else "incomplete"
+        if result.trace is not None:
+            from repro.analysis.timeline import activation_gap_summary
+            from repro.obs.export import write_chrome_trace
+
+            record["activation_gaps"] = activation_gap_summary(result.trace)
+            if trace_dir is not None:
+                trace_dir = Path(trace_dir)
+                trace_dir.mkdir(parents=True, exist_ok=True)
+                shard = trace_dir / f"{cell.cell_id}.trace.json"
+                write_chrome_trace(result.trace, shard)
+                record["trace_path"] = str(shard)
     except Exception as error:  # noqa: BLE001 - isolate worker failures
         record["status"] = "error"
         record["error"] = f"{type(error).__name__}: {error}"
@@ -52,7 +73,8 @@ def run_cell(cell: CampaignCell) -> Dict[str, object]:
     return record
 
 
-def run_cells_chunk(cells: List[CampaignCell]) -> List[Dict[str, object]]:
+def run_cells_chunk(cells: List[CampaignCell],
+                    trace_dir: Optional[Path] = None) -> List[Dict[str, object]]:
     """Run a chunk of grid cells in one worker task.
 
     Chunking amortises the executor's per-task pickling/IPC overhead over
@@ -61,7 +83,7 @@ def run_cells_chunk(cells: List[CampaignCell]) -> List[Dict[str, object]]:
     within a single task.  Cell isolation is unchanged: each cell still
     produces its own record, errors included.
     """
-    return [run_cell(cell) for cell in cells]
+    return [run_cell(cell, trace_dir=trace_dir) for cell in cells]
 
 
 def load_records(results_path: Path) -> List[Dict[str, object]]:
@@ -153,6 +175,7 @@ class CampaignRunner:
         results_path: Path,
         max_workers: Optional[int] = None,
         chunk_size: Optional[int] = None,
+        trace_dir: Optional[Path] = None,
     ) -> None:
         self.spec = spec
         self.results_path = Path(results_path)
@@ -160,6 +183,11 @@ class CampaignRunner:
         #: Cells dispatched per worker task (``None``: derived from the
         #: pending-cell count so every worker gets a few chunks).
         self.chunk_size = chunk_size
+        #: Where traced cells write their Chrome-trace shards (``None``:
+        #: ``<results dir>/traces`` when the spec arms tracing).
+        self.trace_dir = Path(trace_dir) if trace_dir is not None else None
+        if self.trace_dir is None and spec.trace:
+            self.trace_dir = self.results_path.parent / "traces"
 
     def pending_cells(self) -> List[CampaignCell]:
         """Grid cells without a successful record yet."""
@@ -183,8 +211,13 @@ class CampaignRunner:
 
         Lines are flushed as soon as each cell finishes, so a kill at any
         point loses at most in-flight cells — never completed ones.
+
+        Progress goes through the module logger by default (INFO level), so
+        parallel campaigns compose with the host application's logging
+        configuration instead of interleaving bare prints; pass ``progress``
+        to capture the messages directly (tests, custom UIs).
         """
-        say = progress or (lambda _message: None)
+        say = progress or logger.info
         cells = self.spec.cells()
         pending = self.pending_cells()
         skipped = len(cells) - len(pending)
@@ -200,7 +233,8 @@ class CampaignRunner:
                       for index in range(0, len(pending), chunk_size)]
             with self.results_path.open("a", encoding="utf-8") as sink, \
                     ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-                futures = {pool.submit(run_cells_chunk, chunk): chunk
+                futures = {pool.submit(run_cells_chunk, chunk,
+                                       self.trace_dir): chunk
                            for chunk in chunks}
                 remaining = set(futures)
                 while remaining:

@@ -27,6 +27,8 @@ from typing import Dict, List, Optional, Set
 import networkx as nx
 
 from repro.controller.base import AckMode, Controller
+from repro.obs import tracer as obs_tracer
+from repro.obs.events import PHASE_ACK_RECEIVED, PHASE_UPDATE_ISSUED
 from repro.openflow.messages import FlowMod
 from repro.sim.events import Event
 from repro.sim.kernel import Simulator
@@ -218,6 +220,10 @@ class PlanExecutor:
         operation.issued_at = self.sim.now
         self._issued.add(operation.op_id)
         self._in_flight.add(operation.op_id)
+        tr = obs_tracer.TRACER
+        if tr.active:
+            tr.rule(PHASE_UPDATE_ISSUED, self.sim.now, operation.switch,
+                    operation.flowmod.xid, detail=operation.role)
         ack = self.controller.send_flowmod(operation.switch, operation.flowmod)
         ack.event.add_callback(lambda _event, op=operation: self._on_acked(op))
         if self.controller.ack_mode == AckMode.BARRIER:
@@ -232,6 +238,10 @@ class PlanExecutor:
         operation.acked_at = self.sim.now
         self._acked.add(operation.op_id)
         self._in_flight.discard(operation.op_id)
+        tr = obs_tracer.TRACER
+        if tr.active:
+            tr.rule(PHASE_ACK_RECEIVED, self.sim.now, operation.switch,
+                    operation.flowmod.xid, detail=operation.role)
         if not self.ignore_dependencies:
             for dependent_id in self._dependents.get(operation.op_id, []):
                 dependent = self.plan.operations[dependent_id]

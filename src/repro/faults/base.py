@@ -25,6 +25,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, Mapping, Optional
 
+from repro.obs import tracer as obs_tracer
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.kernel import Simulator
     from repro.sim.rng import SeededRandom
@@ -93,6 +95,15 @@ class FaultModel:
         if events is None:
             events = self.events = {}
         events[event] = events.get(event, 0) + n
+        tr = obs_tracer.TRACER
+        if tr.active:
+            # Every fault model funnels its activations through here, which
+            # makes this the one hook the timeline's fault overlay needs.
+            sim = getattr(self, "sim", None)
+            tr.fault(sim.now if sim is not None else 0.0,
+                     switch=getattr(self, "_trace_target", ""),
+                     detail=f"{self.name}.{event}")
+            tr.count(f"fault.{self.name}.{event}", n)
 
     def counters(self) -> Dict[str, int]:
         """``event name -> occurrence count`` since arming."""

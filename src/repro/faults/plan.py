@@ -264,6 +264,7 @@ def arm_fault_plan(
                 )
             fault = entry.instantiate(**spec.params)
             fault.arm(sim, root.fork(f"fault:{index}:{spec.fault}:{target}"))
+            fault._trace_target = target  # fault-overlay trace events
             armed.instances.append((target, fault))
             if entry.layer == DATA_PLANE:
                 dataplane_faults.setdefault(target, []).append(fault)

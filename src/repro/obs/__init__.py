@@ -1,0 +1,89 @@
+"""Observability: rule-lifecycle tracing and a lightweight metrics layer.
+
+The paper's central phenomenon is a *timing gap* — a switch acknowledges a
+FIB update before (or without ever) activating it in hardware.  This package
+makes that gap a first-class measurement instead of an end-of-run aggregate:
+
+* :mod:`repro.obs.events` — typed trace events for the rule-update
+  lifecycle (``update-issued → msg-sent → switch-received → ack-sent →
+  ack-received`` on the control path, ``control-applied → hw-activated`` on
+  the switch), each stamped with sim-time, switch id, xid and technique,
+  collected into a :class:`~repro.obs.events.TraceLog`;
+* :mod:`repro.obs.tracer` — the module-level tracer the instrumented code
+  consults.  The default is a :class:`~repro.obs.tracer.NullTracer` whose
+  ``active`` flag short-circuits every instrumentation site, so runs with
+  tracing disarmed stay byte-identical to a build without this package
+  (pinned by the existing digest tests);
+* :mod:`repro.obs.metrics` — counters/gauges/histograms sampled through
+  :meth:`repro.sim.kernel.Simulator.every` hooks (pending-ack queue depth,
+  flow-table occupancy, kernel event-loop stats);
+* :mod:`repro.obs.export` — JSONL and Chrome trace-event/Perfetto
+  exporters plus a schema validator for CI.
+
+Arm tracing declaratively with ``SessionSpec(trace=True)`` (or
+``ScenarioParams(trace=True)``, or ``python -m repro.campaign run --trace``);
+the :class:`~repro.session.record.RunRecord` then carries the
+:class:`TraceLog` and :mod:`repro.analysis.timeline` renders per-rule
+activation-gap and fault-overlay reports from it.
+"""
+
+from repro.obs.events import (
+    LIFECYCLE_PHASES,
+    PHASE_ACK_RECEIVED,
+    PHASE_ACK_SENT,
+    PHASE_CONTROL_APPLIED,
+    PHASE_FAULT,
+    PHASE_HW_ACTIVATED,
+    PHASE_MSG_SENT,
+    PHASE_SWITCH_RECEIVED,
+    PHASE_UPDATE_ISSUED,
+    TraceEvent,
+    TraceLog,
+)
+from repro.obs.export import (
+    trace_to_chrome,
+    trace_to_jsonl,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    current_tracer,
+    install_tracer,
+    tracing,
+    uninstall_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LIFECYCLE_PHASES",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "PHASE_ACK_RECEIVED",
+    "PHASE_ACK_SENT",
+    "PHASE_CONTROL_APPLIED",
+    "PHASE_FAULT",
+    "PHASE_HW_ACTIVATED",
+    "PHASE_MSG_SENT",
+    "PHASE_SWITCH_RECEIVED",
+    "PHASE_UPDATE_ISSUED",
+    "TraceEvent",
+    "TraceLog",
+    "Tracer",
+    "current_tracer",
+    "install_tracer",
+    "trace_to_chrome",
+    "trace_to_jsonl",
+    "tracing",
+    "uninstall_tracer",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,160 @@
+"""Trace exporters: JSONL for tooling, Chrome trace-event JSON for Perfetto.
+
+The Chrome trace-event format (the ``{"traceEvents": [...]}`` JSON object
+understood by ``chrome://tracing`` and https://ui.perfetto.dev) maps
+naturally onto the rule lifecycle:
+
+* each lifecycle phase becomes an instant event (``"ph": "i"``) on the
+  track (``tid``) of the switch it concerns;
+* each completed rule becomes one span (``"ph": "X"``) named
+  ``rule <xid>`` stretching from ``update-issued`` to ``hw-activated``,
+  so the ack-vs-activation gap is visible as the part of the span after
+  the ``ack-received`` marker;
+* fault activations land on a dedicated ``faults@<switch>`` track.
+
+Sim-time seconds are scaled to the format's microseconds.
+:func:`validate_chrome_trace` is the schema check CI runs against a traced
+smoke session.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.obs.events import (
+    PHASE_FAULT,
+    PHASE_HW_ACTIVATED,
+    PHASE_UPDATE_ISSUED,
+    TraceLog,
+)
+
+_US = 1_000_000.0  # sim seconds → trace microseconds
+
+#: Process id for all tracks; the sim is single-process by construction.
+_PID = 1
+
+
+def trace_to_jsonl(log: TraceLog) -> str:
+    """One JSON object per line: a header line, then one line per event."""
+    lines = [json.dumps({"technique": log.technique, "kind": log.kind,
+                         "seed": log.seed, "meta": log.meta},
+                        sort_keys=True)]
+    lines.extend(json.dumps(event.as_dict(), sort_keys=True)
+                 for event in log.events)
+    return "\n".join(lines) + "\n"
+
+
+def write_jsonl(log: TraceLog, path) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(trace_to_jsonl(log))
+
+
+def _track_name(event) -> str:
+    if event.phase == PHASE_FAULT:
+        return f"faults@{event.switch}" if event.switch else "faults"
+    return event.switch or "controller"
+
+
+def trace_to_chrome(log: TraceLog) -> Dict[str, Any]:
+    """Render the log as a Chrome trace-event JSON object (Perfetto-ready)."""
+    events: List[Dict[str, Any]] = []
+    tids: Dict[str, int] = {}
+    spans: Dict[tuple, Dict[str, float]] = {}
+
+    def tid_for(track: str) -> int:
+        tid = tids.get(track)
+        if tid is None:
+            tid = tids[track] = len(tids) + 1
+            events.append({
+                "name": "thread_name", "ph": "M", "ts": 0, "pid": _PID,
+                "tid": tid, "args": {"name": track},
+            })
+        return tid
+
+    for event in log.events:
+        track = _track_name(event)
+        args: Dict[str, Any] = {}
+        if event.xid is not None:
+            args["xid"] = event.xid
+        if event.detail:
+            args["detail"] = event.detail
+        if log.technique:
+            args["technique"] = log.technique
+        events.append({
+            "name": event.phase,
+            "ph": "i",
+            "s": "t",  # instant scoped to its thread/track
+            "ts": event.ts * _US,
+            "pid": _PID,
+            "tid": tid_for(track),
+            "args": args,
+        })
+        if event.xid is None or not event.switch:
+            continue
+        key = (event.switch, event.xid)
+        span = spans.setdefault(key, {})
+        if event.phase == PHASE_UPDATE_ISSUED:
+            span.setdefault("start", event.ts)
+        elif event.phase == PHASE_HW_ACTIVATED:
+            span["end"] = event.ts
+
+    for (switch, xid), span in sorted(spans.items()):
+        if "start" not in span or "end" not in span:
+            continue
+        events.append({
+            "name": f"rule {xid}",
+            "ph": "X",
+            "ts": span["start"] * _US,
+            "dur": max(0.0, span["end"] - span["start"]) * _US,
+            "pid": _PID,
+            "tid": tid_for(switch),
+            "args": {"xid": xid, "switch": switch,
+                     "technique": log.technique},
+        })
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "technique": log.technique,
+            "kind": log.kind,
+            "seed": log.seed,
+        },
+    }
+
+
+def write_chrome_trace(log: TraceLog, path) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(trace_to_chrome(log), handle, sort_keys=True)
+
+
+_PHASE_REQUIRED_KEYS = {"name", "ph", "ts", "pid", "tid"}
+_VALID_PH = {"B", "E", "X", "i", "I", "M", "C", "b", "e", "n", "s", "t", "f"}
+
+
+def validate_chrome_trace(payload: Any) -> Optional[str]:
+    """Return ``None`` if ``payload`` is a well-formed Chrome trace, else a
+    human-readable reason.  This is the CI schema gate, so it is strict
+    about what the exporter promises, not merely what viewers tolerate."""
+    if not isinstance(payload, dict):
+        return "top level must be a JSON object"
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return "missing traceEvents array"
+    if not events:
+        return "traceEvents is empty"
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            return f"traceEvents[{i}] is not an object"
+        missing = _PHASE_REQUIRED_KEYS - set(event)
+        if missing:
+            return f"traceEvents[{i}] missing keys: {sorted(missing)}"
+        if event["ph"] not in _VALID_PH:
+            return f"traceEvents[{i}] has unknown phase {event['ph']!r}"
+        if event["ph"] != "M" and not isinstance(event["ts"], (int, float)):
+            return f"traceEvents[{i}] ts is not numeric"
+        if event["ph"] == "X" and not isinstance(event.get("dur"),
+                                                 (int, float)):
+            return f"traceEvents[{i}] complete event lacks numeric dur"
+    return None

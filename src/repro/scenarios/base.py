@@ -57,6 +57,9 @@ class ScenarioParams:
     #: fault-free.  A string — not a :class:`~repro.faults.plan.FaultPlan` —
     #: so campaign configs stay hashable and JSON-able.
     faults: Optional[str] = None
+    #: Arm rule-lifecycle tracing (see :mod:`repro.obs`); the run's record
+    #: then carries a :class:`~repro.obs.events.TraceLog`.
+    trace: bool = False
 
     def scaled(self, **overrides) -> "ScenarioParams":
         """A copy with selected fields replaced."""

@@ -48,6 +48,7 @@ def scenario_session(
         plan_builder=scenario.build_plan,
         metrics=scenario.metrics,
         faults=scenario.fault_plan(),
+        trace=params.trace,
         knobs=SessionKnobs(
             seed=params.seed,
             warmup=params.warmup,

@@ -34,15 +34,63 @@ from repro.controller.update_plan import PlanExecutor
 from repro.faults.plan import ArmedFaults, arm_fault_plan
 from repro.net.network import Network
 from repro.net.traffic import TrafficGenerator
+from repro.obs.tracer import Tracer, install_tracer, uninstall_tracer
 from repro.session.record import RunRecord
 from repro.session.spec import SessionSpec
 from repro.session.stack import build_control_stack
 from repro.sim.kernel import Simulator
 from repro.sim.rng import SeededRandom
 
+#: Sampling period of the metrics probe in traced runs (simulated seconds).
+#: Fine enough to resolve per-rule queues at the default control latencies,
+#: coarse enough that a traced session stays a few hundred samples.
+_TRACE_SAMPLE_INTERVAL = 0.01
+
 
 def run_session(spec: SessionSpec) -> RunRecord:
-    """Execute one :class:`SessionSpec` and return its :class:`RunRecord`."""
+    """Execute one :class:`SessionSpec` and return its :class:`RunRecord`.
+
+    When :attr:`~repro.session.spec.SessionSpec.trace` is set, a collecting
+    tracer is installed for the duration of the run and the resulting
+    :class:`~repro.obs.events.TraceLog` rides on the record.  Tracing only
+    *observes* — every instrumentation site is read-only and the periodic
+    metrics probe mutates no simulation state — so a traced run computes the
+    same outcome (and digest) as the identical untraced run.
+    """
+    if not spec.trace:
+        return _run_session(spec, tracer=None)
+    tracer = install_tracer(Tracer(
+        technique=spec.resolved_technique().name,
+        kind=spec.kind,
+        seed=spec.knobs.seed,
+    ))
+    try:
+        return _run_session(spec, tracer=tracer)
+    finally:
+        uninstall_tracer()
+
+
+def _metrics_probe(tracer: Tracer, sim: Simulator, network: Network,
+                   stack) -> None:
+    """One reading of the sampled gauges (runs on the simulated clock)."""
+    now = sim.now
+    tracer.gauge("controller.pending_acks", now,
+                 float(stack.controller.pending_acks()))
+    if stack.rum is not None:
+        tracer.gauge("rum.unconfirmed", now,
+                     float(stack.rum.unconfirmed_count()))
+    switches = network.switches.values()
+    tracer.gauge("switch.pending_dataplane_ops", now,
+                 float(sum(sw.controlplane.pending_dataplane_ops
+                           for sw in switches)))
+    tracer.gauge("dataplane.occupancy", now,
+                 float(sum(sw.dataplane.occupancy() for sw in switches)))
+    tracer.gauge("net.dropped_packets", now,
+                 float(network.monitor.total_dropped()))
+    tracer.gauge("kernel.pending_events", now, float(sim.pending_count))
+
+
+def _run_session(spec: SessionSpec, tracer: Optional[Tracer]) -> RunRecord:
     technique = spec.resolved_technique()
     knobs = spec.knobs
     workload = spec.workload
@@ -68,6 +116,16 @@ def run_session(spec: SessionSpec) -> RunRecord:
     stack.prepare()
     network.start()
     stack.start()
+
+    # Metrics sampling on the simulated clock (traced runs only).  The probe
+    # only reads state, so it cannot perturb the run; it must be cancelled
+    # before the record is built or an unbounded run would never drain.
+    probe = None
+    if tracer is not None:
+        probe = sim.every(
+            _TRACE_SAMPLE_INTERVAL,
+            lambda: _metrics_probe(tracer, sim, network, stack),
+        )
 
     # 2b. Fault plan -----------------------------------------------------------
     # Arms nothing when the spec carries no (or an empty) plan, keeping the
@@ -113,6 +171,9 @@ def run_session(spec: SessionSpec) -> RunRecord:
     else:
         sim.run(until=sim.now + knobs.settle)
 
+    if probe is not None:
+        probe.cancel()
+
     # 6. Post-processing -----------------------------------------------------------
     markers = workload.markers(network, flows) if workload.markers else None
     stats = []
@@ -142,7 +203,7 @@ def run_session(spec: SessionSpec) -> RunRecord:
     rum_technique = stack.rum.technique if stack.rum is not None else None
 
     labels = dict(spec.labels)
-    return RunRecord(
+    record = RunRecord(
         kind=spec.kind,
         technique=technique.name,
         spec=spec.config(),
@@ -171,3 +232,11 @@ def run_session(spec: SessionSpec) -> RunRecord:
         rum_probes_injected=getattr(rum_technique, "probes_injected", 0),
         fault_events=armed.counters() if armed is not None else {},
     )
+    if tracer is not None:
+        record.trace = tracer.finish(meta={
+            "topology": topology.name,
+            "faults": (spec.faults.to_string()
+                       if spec.faults is not None else "none"),
+            "kernel": sim.stats(),
+        })
+    return record

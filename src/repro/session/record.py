@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.activation import ActivationDelays
 from repro.analysis.flowstats import FlowUpdateStats
+from repro.obs.events import TraceLog
 
 #: Schema version stamped into serialized records.
 RECORD_SCHEMA = 1
@@ -124,6 +125,9 @@ class RunRecord:
     #: ``"<fault>.<event>" -> count`` of injected-fault activations, summed
     #: over target switches (empty for fault-free runs).
     fault_events: Dict[str, int] = field(default_factory=dict)
+    #: Rule-lifecycle trace collected when the spec armed tracing
+    #: (``None`` otherwise); see :mod:`repro.obs`.
+    trace: Optional[TraceLog] = None
 
     # -- legacy accessors (pre-session result classes) -----------------------
     @property
@@ -181,6 +185,10 @@ class RunRecord:
         }
         if self.fault_events:
             payload["fault_events"] = dict(self.fault_events)
+        # Like fault_events: only present when tracing was armed, so
+        # trace-off payloads stay byte-identical to pre-tracing records.
+        if self.trace is not None and self.trace:
+            payload["trace"] = self.trace.as_dict()
         return payload
 
     @classmethod
@@ -218,6 +226,8 @@ class RunRecord:
             rum_probe_rule_updates=payload.get("rum_probe_rule_updates", 0),
             rum_probes_injected=payload.get("rum_probes_injected", 0),
             fault_events=dict(payload.get("fault_events") or {}),
+            trace=(TraceLog.from_dict(payload["trace"])
+                   if payload.get("trace") else None),
         )
 
     def summary(self) -> Dict[str, object]:
@@ -260,6 +270,9 @@ class RunRecord:
         """
         payload = self.as_dict()
         payload.pop("spec", None)
+        # The trace is an observation of the run, not part of its outcome:
+        # excluding it makes traced and untraced runs digest-comparable.
+        payload.pop("trace", None)
         activation = payload.get("activation")
         if activation is not None:
             payload["activation"] = {

@@ -124,6 +124,11 @@ class SessionSpec:
     faults: Optional[FaultPlan] = None
     activation_probe: Optional[ActivationProbe] = None
     metrics: Optional[MetricsHook] = None
+    #: Arm rule-lifecycle tracing for this run: the engine installs a
+    #: collecting tracer and the record carries the resulting
+    #: :class:`~repro.obs.events.TraceLog`.  Tracing only observes — traced
+    #: and untraced runs of the same spec produce identical digests.
+    trace: bool = False
     #: Session kind recorded on the result (``"path-migration"``, ...).
     kind: str = "session"
     #: Extra labels merged into the record (``scenario``, ``scale``, ...).
@@ -141,7 +146,7 @@ class SessionSpec:
         stack and knobs.  Adapters put their own reconstruction parameters
         into :attr:`labels`.
         """
-        return {
+        config: Dict[str, object] = {
             "kind": self.kind,
             "technique": self.resolved_technique().name,
             "labels": dict(self.labels),
@@ -157,6 +162,11 @@ class SessionSpec:
                        if self.faults is not None and not self.faults.empty()
                        else None),
         }
+        # Key present only when armed, so trace-off configs stay byte-identical
+        # to configs produced before tracing existed (same pattern as faults).
+        if self.trace:
+            config["trace"] = True
+        return config
 
     def run(self):
         """Execute the session; returns a :class:`~repro.session.record.RunRecord`."""

@@ -29,6 +29,44 @@ class StopSimulation(Exception):
     """Raised by user code to stop :meth:`Simulator.run` immediately."""
 
 
+class PeriodicProbe:
+    """A self-rescheduling callback on the simulated clock.
+
+    Created by :meth:`Simulator.every`; fires ``callback()`` every
+    ``interval`` simulated seconds until :meth:`cancel` is called.  The
+    probe keeps rescheduling itself, so a bounded ``run(until=...)`` simply
+    stops executing it — but an *unbounded* run would never drain the heap
+    while a probe is live; owners must cancel probes when their measurement
+    window closes (the session engine does this after the traffic settles).
+    """
+
+    __slots__ = ("_sim", "interval", "callback", "_cancelled")
+
+    def __init__(self, sim: "Simulator", interval: float,
+                 callback: Callable[[], None]) -> None:
+        if interval <= 0:
+            raise ValueError(f"probe interval must be positive ({interval})")
+        self._sim = sim
+        self.interval = interval
+        self.callback = callback
+        self._cancelled = False
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def cancel(self) -> None:
+        """Stop firing; the pending heap entry becomes a no-op."""
+        self._cancelled = True
+
+    def _fire(self) -> None:
+        if self._cancelled:
+            return
+        self.callback()
+        if not self._cancelled:
+            self._sim.schedule_callback(self.interval, self._fire)
+
+
 class Simulator:
     """Discrete-event simulator.
 
@@ -169,6 +207,38 @@ class Simulator:
         event = Event(name=name)
         event.sim = self
         return event
+
+    # -- periodic hooks ---------------------------------------------------------
+    def every(self, interval: float, callback: Callable[[], None],
+              start: Optional[float] = None) -> PeriodicProbe:
+        """Run ``callback()`` every ``interval`` simulated seconds.
+
+        The first firing happens after ``start`` seconds (default: one
+        ``interval``).  Returns the :class:`PeriodicProbe`; callers **must**
+        :meth:`~PeriodicProbe.cancel` it before relying on the event heap
+        draining — a live probe reschedules itself forever.  This is the
+        sampling hook the observability layer uses to read queue depths and
+        table occupancy on the simulated clock.
+        """
+        probe = PeriodicProbe(self, interval, callback)
+        self.schedule_callback(interval if start is None else start,
+                               probe._fire)
+        return probe
+
+    # -- introspection ----------------------------------------------------------
+    @property
+    def pending_count(self) -> int:
+        """Number of callbacks currently scheduled on the heap."""
+        return len(self._heap)
+
+    def stats(self) -> dict:
+        """Event-loop counters (benchmark and trace metadata)."""
+        return {
+            "now": self._now,
+            "pending": len(self._heap),
+            "steps_executed": self.steps_executed,
+            "sequence": self._sequence,
+        }
 
     # -- processes -------------------------------------------------------------
     def process(self, generator: Generator, name: str = "") -> Process:

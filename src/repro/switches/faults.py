@@ -18,9 +18,24 @@ New code should import from :mod:`repro.faults` and describe faults with a
 
 from __future__ import annotations
 
-from repro.faults.base import DataPlaneFault as Fault
-from repro.faults.dataplane import DelaySpikeFault, ReorderFault, RuleDropFault
-from repro.faults.harness import DataPlaneFaultHarness, FaultInjector
+import warnings
+
+warnings.warn(
+    "repro.switches.faults is deprecated; import from repro.faults instead "
+    "(DelaySpikeFault/ReorderFault/RuleDropFault live in "
+    "repro.faults.dataplane, FaultInjector in repro.faults.harness, and "
+    "Fault is repro.faults.base.DataPlaneFault)",
+    DeprecationWarning,
+    stacklevel=2,
+)
+
+from repro.faults.base import DataPlaneFault as Fault  # noqa: E402
+from repro.faults.dataplane import (  # noqa: E402
+    DelaySpikeFault,
+    ReorderFault,
+    RuleDropFault,
+)
+from repro.faults.harness import DataPlaneFaultHarness, FaultInjector  # noqa: E402
 
 __all__ = [
     "DataPlaneFaultHarness",

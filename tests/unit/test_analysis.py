@@ -160,3 +160,63 @@ def test_activation_delays_properties():
     assert ranked[0] == (1, -0.1) and ranked[-1] == (3, 0.5)
     summary = delays.summary()
     assert summary.count == 3
+
+
+# -- report renderers: golden strings -------------------------------------------
+
+def test_render_run_summaries_golden():
+    from repro.analysis.report import render_run_summaries
+
+    summaries = [
+        {"scenario": "path-migration", "technique": "barrier",
+         "topology": "triangle", "seed": 1, "update_duration": 1.5,
+         "dropped_packets": 3, "max_broken_time": 0.25,
+         "digest": "abcdef0123456789"},
+        # A record without a scenario label falls back to its kind; missing
+        # duration and digest render as "-".
+        {"kind": "scenario", "technique": "general", "topology": "leaf-spine",
+         "seed": 2, "update_duration": None, "dropped_packets": 0,
+         "max_broken_time": 0.0, "digest": ""},
+    ]
+    expected = (
+        "Runs\n"
+        "workload       | technique | topology   | seed | duration [s] | dropped | max broken [s] | digest  \n"
+        "---------------+-----------+------------+------+--------------+---------+----------------+---------\n"
+        "path-migration | barrier   | triangle   | 1    | 1.500        | 3       | 0.250          | abcdef01\n"
+        "scenario       | general   | leaf-spine | 2    | -            | 0       | 0.000          | -       "
+    )
+    assert render_run_summaries(summaries, title="Runs") == expected
+
+
+def test_resilience_table_golden():
+    from repro.analysis.report import (
+        RESILIENCE_HEADERS,
+        correctness_under_fault_rows,
+        format_table,
+    )
+
+    groups = {
+        ("none", "barrier"): [
+            {"update_duration": 1.0, "completed": True, "dropped_packets": 0,
+             "max_broken_time": 0.0, "metrics": {}, "faults": {}},
+            {"update_duration": 2.0, "completed": True, "dropped_packets": 2,
+             "max_broken_time": 0.5, "metrics": {}, "faults": {}},
+        ],
+        ("ack-loss(probability=0.3)", "timeout"): [
+            {"update_duration": None, "completed": False,
+             "dropped_packets": 7, "max_broken_time": 1.25,
+             "metrics": {"http_bypassing_firewall": 2},
+             "faults": {"ack-loss.drops": 3}},
+        ],
+    }
+    expected = (
+        "Resilience\n"
+        "fault                     | technique | runs | completed | mean duration [s] | dropped | violations | max broken [s] | fault events\n"
+        "--------------------------+-----------+------+-----------+-------------------+---------+------------+----------------+-------------\n"
+        "ack-loss(probability=0.3) | timeout   | 1    | 0/1       | -                 | 7       | 2          | 1.250          | 3           \n"
+        "none                      | barrier   | 2    | 2/2       | 1.500             | 2       | 0          | 0.500          | 0           "
+    )
+    table = format_table(RESILIENCE_HEADERS,
+                         correctness_under_fault_rows(groups),
+                         title="Resilience")
+    assert table == expected

@@ -193,3 +193,48 @@ class TestReport:
         text = render_report(results)
         assert "path-migration" in text
         assert "general" in text
+
+
+class TestTraceIntegration:
+    def test_traced_cell_records_gaps_and_valid_shard(self, tmp_path):
+        from pathlib import Path
+
+        from repro.obs.export import validate_chrome_trace
+
+        cell = CampaignCell(scenario="path-migration", technique="general",
+                            flow_count=2, max_update_duration=5.0, trace=True)
+        record = run_cell(cell, trace_dir=tmp_path)
+        assert record["status"] == "ok"
+        assert record["activation_gaps"]
+        shard = Path(record["trace_path"])
+        assert shard.parent == tmp_path
+        payload = json.loads(shard.read_text(encoding="utf-8"))
+        assert validate_chrome_trace(payload) is None
+        json.dumps(record)  # the record itself stays one JSON line
+
+    def test_tracing_does_not_change_the_outcome(self):
+        base = CampaignCell(scenario="path-migration", technique="general",
+                            flow_count=2, max_update_duration=5.0)
+        traced = CampaignCell(scenario="path-migration", technique="general",
+                              flow_count=2, max_update_duration=5.0,
+                              trace=True)
+        assert base.cell_id != traced.cell_id  # different record payloads
+        assert "trace" not in base.config()
+        assert run_cell(base)["digest"] == run_cell(traced)["digest"]
+
+    def test_report_gains_activation_gap_section(self, tmp_path):
+        results = tmp_path / "results.jsonl"
+        spec = _tiny_spec(techniques=["general"], seeds=[1], trace=True)
+        runner = CampaignRunner(spec, results, max_workers=1)
+        assert runner.trace_dir == tmp_path / "traces"
+        outcome = runner.run()
+        assert outcome.failed == 0
+        assert list(runner.trace_dir.glob("*.trace.json"))
+        text = render_report(results)
+        assert "Activation gaps — ack vs hardware activation" in text
+
+    def test_untraced_report_has_no_gap_section(self, tmp_path):
+        results = tmp_path / "results.jsonl"
+        CampaignRunner(_tiny_spec(techniques=["general"], seeds=[1]),
+                       results, max_workers=1).run()
+        assert "Activation gaps" not in render_report(results)

@@ -711,3 +711,40 @@ class TestFaultCampaign:
         text = render_resilience_report(results)
         assert "ack-loss(probability=1.0)" in text
         assert "correctness under fault" in text
+
+
+class TestShimDeprecation:
+    def test_shim_import_warns(self):
+        import importlib
+        import sys
+
+        sys.modules.pop("repro.switches.faults", None)
+        with pytest.warns(DeprecationWarning, match="repro.faults"):
+            importlib.import_module("repro.switches.faults")
+
+    def test_package_import_does_not_warn(self):
+        import importlib
+        import subprocess
+        import sys
+
+        # A fresh interpreter importing the package must stay silent: the
+        # shim names are resolved lazily via module __getattr__.
+        subprocess.run(
+            [sys.executable, "-W", "error::DeprecationWarning",
+             "-c", "import repro.switches"],
+            check=True, timeout=60,
+        )
+        # ... while the lazy re-exports still resolve to the moved classes.
+        switches = importlib.import_module("repro.switches")
+        from repro.faults.dataplane import DelaySpikeFault, ReorderFault
+        from repro.faults.harness import FaultInjector
+
+        assert switches.DelaySpikeFault is DelaySpikeFault
+        assert switches.ReorderFault is ReorderFault
+        assert switches.FaultInjector is FaultInjector
+
+    def test_unknown_attribute_still_raises(self):
+        import repro.switches
+
+        with pytest.raises(AttributeError, match="no attribute"):
+            repro.switches.DoesNotExist

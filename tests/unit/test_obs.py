@@ -1,0 +1,405 @@
+"""Tests for the observability subsystem: the null-object tracer fast path
+(no allocations when disabled), lifecycle event collection through a real
+traced session, trace-off digest transparency, the metrics registry, the
+exporters, and the timeline analysis."""
+
+import gc
+import json
+import math
+import tracemalloc
+
+import pytest
+
+from repro.obs import (
+    LIFECYCLE_PHASES,
+    PHASE_ACK_RECEIVED,
+    PHASE_ACK_SENT,
+    PHASE_FAULT,
+    PHASE_HW_ACTIVATED,
+    PHASE_MSG_SENT,
+    PHASE_SWITCH_RECEIVED,
+    PHASE_UPDATE_ISSUED,
+    MetricsRegistry,
+    NullTracer,
+    TraceEvent,
+    TraceLog,
+    Tracer,
+    install_tracer,
+    trace_to_chrome,
+    trace_to_jsonl,
+    tracing,
+    uninstall_tracer,
+    validate_chrome_trace,
+)
+from repro.obs import tracer as obs_tracer
+from repro.scenarios import ScenarioParams, run_scenario
+
+
+def _quick_params(**overrides):
+    defaults = dict(flow_count=2, warmup=0.1, grace=0.2,
+                    max_update_duration=5.0, seed=7)
+    defaults.update(overrides)
+    return ScenarioParams(**defaults)
+
+
+# ---------------------------------------------------------------------------
+# Null-object fast path
+# ---------------------------------------------------------------------------
+
+class TestNullTracer:
+    def test_default_tracer_is_the_shared_null_object(self):
+        assert obs_tracer.TRACER is obs_tracer.NULL_TRACER
+        assert obs_tracer.current_tracer().active is False
+
+    def test_active_is_a_class_attribute(self):
+        # The hot-path guard must not hit __dict__ lookups per instance.
+        assert "active" in NullTracer.__dict__
+        assert NullTracer.active is False
+        assert Tracer.active is True
+
+    def test_disabled_hot_path_allocates_nothing(self):
+        """The guarded call site pattern must be allocation-free when the
+        null tracer is installed — the zero-cost-when-disabled contract."""
+        tr = obs_tracer.TRACER
+        assert tr is obs_tracer.NULL_TRACER
+
+        def hot_site(iterations):
+            for _ in range(iterations):
+                if tr.active:
+                    tr.rule(PHASE_MSG_SENT, 0.0, "S1", 1)
+
+        hot_site(100)  # warm up any lazy interpreter state
+        gc.collect()
+        tracemalloc.start()
+        try:
+            baseline = tracemalloc.get_traced_memory()[0]
+            hot_site(10_000)
+            grown = tracemalloc.get_traced_memory()[0] - baseline
+        finally:
+            tracemalloc.stop()
+        assert grown < 512, f"disabled trace path leaked {grown} bytes"
+
+    def test_null_methods_are_noops(self):
+        null = NullTracer()
+        null.rule(PHASE_MSG_SENT, 0.0, "S1", 1)
+        null.fault(0.0, "S1", "x")
+        null.count("c")
+        null.gauge("g", 0.0, 1.0)
+        null.observe("h", 0.0, 1.0)
+        assert not hasattr(null, "events")
+
+
+# ---------------------------------------------------------------------------
+# Collecting tracer and install/uninstall discipline
+# ---------------------------------------------------------------------------
+
+class TestTracer:
+    def test_collects_events_and_metrics(self):
+        tr = Tracer(technique="barrier", kind="scenario", seed=3)
+        tr.rule(PHASE_UPDATE_ISSUED, 0.5, "S1", 7, detail="install")
+        tr.fault(0.6, "S2", "delay-spike.activations")
+        tr.count("fault.delay-spike.activations", 2)
+        tr.gauge("controller.pending_acks", 0.7, 4.0)
+        tr.observe("gap", 0.8, -0.03)
+        log = tr.finish(meta={"topology": "triangle"})
+        assert log.technique == "barrier"
+        assert log.kind == "scenario"
+        assert log.seed == 3
+        assert len(log) == 2
+        assert log.phases() == {PHASE_UPDATE_ISSUED: 1, PHASE_FAULT: 1}
+        assert log.metrics["fault.delay-spike.activations"] == 2
+        assert log.metrics["controller.pending_acks"] == [[0.7, 4.0]]
+        assert log.metrics["gap"]["summary"]["count"] == 1
+        assert log.meta["topology"] == "triangle"
+
+    def test_install_uninstall_rebinds_global(self):
+        tr = Tracer()
+        assert install_tracer(tr) is tr
+        try:
+            assert obs_tracer.TRACER is tr
+        finally:
+            uninstall_tracer()
+        assert obs_tracer.TRACER is obs_tracer.NULL_TRACER
+
+    def test_nested_install_rejected(self):
+        with tracing():
+            with pytest.raises(RuntimeError, match="cannot nest"):
+                install_tracer(Tracer())
+
+    def test_tracing_contextmanager_restores_on_error(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            with tracing(technique="general"):
+                raise RuntimeError("boom")
+        assert obs_tracer.TRACER is obs_tracer.NULL_TRACER
+
+
+# ---------------------------------------------------------------------------
+# Event and log serialization
+# ---------------------------------------------------------------------------
+
+class TestEventSchema:
+    def test_event_dict_omits_empty_fields(self):
+        bare = TraceEvent(1.0, PHASE_MSG_SENT)
+        assert bare.as_dict() == {"ts": 1.0, "phase": PHASE_MSG_SENT}
+        full = TraceEvent(1.0, PHASE_ACK_SENT, "S1", 9, "barrier-reply")
+        assert full.as_dict() == {"ts": 1.0, "phase": PHASE_ACK_SENT,
+                                  "switch": "S1", "xid": 9,
+                                  "detail": "barrier-reply"}
+
+    def test_event_round_trip(self):
+        event = TraceEvent(2.5, PHASE_HW_ACTIVATED, "S2", 11, "add")
+        assert TraceEvent.from_dict(event.as_dict()) == event
+
+    def test_log_round_trip(self):
+        log = TraceLog(technique="timeout", kind="scenario", seed=5,
+                       events=[TraceEvent(0.1, PHASE_UPDATE_ISSUED, "S1", 1)],
+                       metrics={"c": 3}, meta={"faults": "none"})
+        back = TraceLog.from_dict(log.as_dict())
+        assert back.technique == "timeout"
+        assert back.seed == 5
+        assert back.events == log.events
+        assert back.metrics == {"c": 3}
+        assert back.meta == {"faults": "none"}
+
+    def test_empty_log_is_falsy(self):
+        assert not TraceLog()
+        assert TraceLog(events=[TraceEvent(0.0, PHASE_FAULT)])
+
+    def test_filtered(self):
+        log = TraceLog(events=[
+            TraceEvent(0.1, PHASE_UPDATE_ISSUED, "S1", 1),
+            TraceEvent(0.2, PHASE_UPDATE_ISSUED, "S2", 2),
+            TraceEvent(0.3, PHASE_ACK_RECEIVED, "S1", 1),
+        ])
+        assert len(list(log.filtered(phase=PHASE_UPDATE_ISSUED))) == 2
+        assert len(list(log.filtered(switch="S1"))) == 2
+        assert len(list(log.filtered(xid=1, phase=PHASE_ACK_RECEIVED))) == 1
+
+
+# ---------------------------------------------------------------------------
+# Metrics registry
+# ---------------------------------------------------------------------------
+
+class TestMetrics:
+    def test_instruments_created_on_first_use(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.counter("a").inc(2)
+        registry.gauge("b").set(0.1, 5.0)
+        registry.histogram("c").observe(0.2, 1.0)
+        registry.histogram("c").observe(0.3, 3.0)
+        payload = registry.as_dict()
+        assert payload["a"] == 3
+        assert payload["b"] == [[0.1, 5.0]]
+        assert payload["c"]["summary"]["mean"] == pytest.approx(2.0)
+
+    def test_histogram_summary_percentiles(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h")
+        for index in range(10):
+            hist.observe(float(index), float(index))
+        summary = hist.summary()
+        assert summary["count"] == 10
+        assert summary["min"] == 0.0
+        assert summary["max"] == 9.0
+        assert summary["p50"] == 5.0
+
+    def test_empty_histogram_summary(self):
+        assert MetricsRegistry().histogram("h").summary() == {"count": 0}
+
+
+# ---------------------------------------------------------------------------
+# Traced sessions end to end
+# ---------------------------------------------------------------------------
+
+class TestTracedSession:
+    @pytest.fixture(scope="class")
+    def traced_record(self):
+        return run_scenario("path-migration", "general",
+                            _quick_params(trace=True))
+
+    def test_trace_off_is_digest_identical(self, traced_record):
+        untraced = run_scenario("path-migration", "general", _quick_params())
+        assert untraced.trace is None
+        assert untraced.digest() == traced_record.digest()
+
+    def test_lifecycle_phases_covered(self, traced_record):
+        log = traced_record.trace
+        assert log is not None and log
+        phases = log.phases()
+        for phase in LIFECYCLE_PHASES:
+            assert phases.get(phase, 0) > 0, f"no {phase} events traced"
+
+    def test_metrics_sampled_on_sim_clock(self, traced_record):
+        metrics = traced_record.trace.metrics
+        assert "controller.pending_acks" in metrics
+        samples = metrics["controller.pending_acks"]
+        assert samples and samples == sorted(samples, key=lambda s: s[0])
+
+    def test_kernel_stats_in_meta(self, traced_record):
+        kernel = traced_record.trace.meta["kernel"]
+        assert kernel["steps_executed"] > 0
+
+    def test_record_round_trips_with_trace(self, traced_record):
+        from repro.session import RunRecord
+
+        payload = traced_record.as_dict()
+        assert payload["trace"]["events"]
+        back = RunRecord.from_dict(json.loads(json.dumps(payload)))
+        assert back.trace is not None
+        assert back.trace.events == traced_record.trace.events
+        assert back.digest() == traced_record.digest()
+
+    def test_untraced_record_payload_has_no_trace_key(self):
+        untraced = run_scenario("path-migration", "general", _quick_params())
+        assert "trace" not in untraced.as_dict()
+
+    def test_chrome_export_validates(self, traced_record):
+        payload = trace_to_chrome(traced_record.trace)
+        assert validate_chrome_trace(payload) is None
+        json.dumps(payload)  # must serialize
+        names = {event["name"] for event in payload["traceEvents"]}
+        assert PHASE_HW_ACTIVATED in names
+        assert any(name.startswith("rule ") for name in names)
+
+    def test_jsonl_export_header_then_events(self, traced_record):
+        lines = trace_to_jsonl(traced_record.trace).splitlines()
+        header = json.loads(lines[0])
+        assert header["technique"] == "general"
+        assert header["meta"]["topology"]
+        body = [json.loads(line) for line in lines[1:]]
+        assert len(body) == len(traced_record.trace)
+        assert all("ts" in event and "phase" in event for event in body)
+
+    def test_tracer_never_leaks_after_session(self, traced_record):
+        assert obs_tracer.TRACER is obs_tracer.NULL_TRACER
+
+
+class TestValidateChromeTrace:
+    def test_rejects_non_object(self):
+        assert validate_chrome_trace([]) is not None
+
+    def test_rejects_missing_or_empty_events(self):
+        assert "missing" in validate_chrome_trace({})
+        assert "empty" in validate_chrome_trace({"traceEvents": []})
+
+    def test_rejects_bad_event_shape(self):
+        assert "missing keys" in validate_chrome_trace(
+            {"traceEvents": [{"name": "x", "ph": "i"}]})
+        assert "unknown phase" in validate_chrome_trace(
+            {"traceEvents": [{"name": "x", "ph": "?", "ts": 0,
+                              "pid": 1, "tid": 1}]})
+        assert "lacks numeric dur" in validate_chrome_trace(
+            {"traceEvents": [{"name": "x", "ph": "X", "ts": 0,
+                              "pid": 1, "tid": 1}]})
+
+
+# ---------------------------------------------------------------------------
+# Timeline analysis
+# ---------------------------------------------------------------------------
+
+def _synthetic_log():
+    """Two rules on two switches: one acked after activation (safe), one
+    acked early and one acked but never activated (the paper's failures)."""
+    return TraceLog(technique="timeout", kind="scenario", events=[
+        TraceEvent(0.10, PHASE_UPDATE_ISSUED, "S1", 1),
+        TraceEvent(0.11, PHASE_MSG_SENT, "ctl-S1", 1),
+        TraceEvent(0.12, PHASE_SWITCH_RECEIVED, "S1", 1),
+        TraceEvent(0.20, PHASE_HW_ACTIVATED, "S1", 1),
+        TraceEvent(0.30, PHASE_ACK_SENT, "S1", 1, "barrier-reply"),
+        TraceEvent(0.31, PHASE_ACK_RECEIVED, "S1", 1),
+
+        TraceEvent(0.10, PHASE_UPDATE_ISSUED, "S2", 2),
+        TraceEvent(0.15, PHASE_ACK_RECEIVED, "S2", 2),
+        TraceEvent(0.45, PHASE_HW_ACTIVATED, "S2", 2),
+
+        TraceEvent(0.10, PHASE_UPDATE_ISSUED, "S2", 3),
+        TraceEvent(0.16, PHASE_ACK_RECEIVED, "S2", 3),
+
+        TraceEvent(0.25, PHASE_FAULT, "S2", detail="delay-spike.activations"),
+    ])
+
+
+class TestTimeline:
+    def test_lifecycles_and_gaps(self):
+        from repro.analysis.timeline import rule_lifecycles
+
+        cycles = rule_lifecycles(_synthetic_log())
+        safe = cycles[("S1", 1)]
+        assert safe.msg_sent == 0.11  # matched via the ctl-S1 channel
+        assert safe.confirmed_by == "barrier-reply"
+        assert safe.activation_gap == pytest.approx(0.11)
+
+        early = cycles[("S2", 2)]
+        assert early.activation_gap == pytest.approx(-0.30)
+
+        never = cycles[("S2", 3)]
+        assert never.acknowledged and not never.activated
+        assert math.isinf(never.activation_gap)
+
+    def test_gap_summary_counts_early_and_never(self):
+        from repro.analysis.timeline import activation_gap_summary
+
+        summary = activation_gap_summary(_synthetic_log())
+        assert summary["S1"]["early"] == 0
+        assert summary["S2"]["rules"] == 2
+        assert summary["S2"]["early"] == 1
+        assert summary["S2"]["never"] == 1
+        # never-activated rules are excluded from the finite stats
+        assert summary["S2"]["mean"] == pytest.approx(-0.30)
+
+    def test_render_timeline_report(self):
+        from repro.analysis.timeline import render_timeline_report
+
+        text = render_timeline_report(_synthetic_log())
+        assert "Rule lifecycle timeline — timeout" in text
+        assert "never" in text
+        assert "-300.00ms" in text
+        assert "unsafe early ack" in text
+
+    def test_fault_overlay_lists_open_rules(self):
+        from repro.analysis.timeline import fault_overlaps, render_fault_overlay
+
+        overlaps = fault_overlaps(_synthetic_log())
+        assert len(overlaps) == 1
+        # At t=0.25 rule S1/1 is already hw-active; S2/2 and S2/3 are open.
+        assert overlaps[0].open_rules == [("S2", 2), ("S2", 3)]
+        text = render_fault_overlay(_synthetic_log())
+        assert "delay-spike.activations" in text
+        assert "S2/2, S2/3" in text
+
+    def test_empty_log_renders_placeholder(self):
+        from repro.analysis.timeline import (
+            render_fault_overlay,
+            render_timeline_report,
+        )
+
+        assert "(no rule lifecycle events in trace)" in \
+            render_timeline_report(TraceLog())
+        assert "(no fault activations in trace)" in \
+            render_fault_overlay(TraceLog())
+
+
+# ---------------------------------------------------------------------------
+# Traced runs under fault: the acceptance-criterion scenario
+# ---------------------------------------------------------------------------
+
+class TestTracedFaultRun:
+    def test_delay_spike_produces_measurable_gap(self):
+        from repro.analysis.timeline import activation_gap_summary
+
+        record = run_scenario(
+            "path-migration", "timeout",
+            _quick_params(topology="triangle",
+                          faults="delay-spike(probability=1.0,spike=0.3)@S2",
+                          trace=True))
+        log = record.trace
+        assert log is not None
+        assert log.phases().get(PHASE_FAULT, 0) > 0
+        summary = activation_gap_summary(log)
+        assert "S2" in summary
+        # The spiked switch acknowledges before its hardware activates.
+        assert summary["S2"]["early"] > 0
+        fault_counters = [name for name in log.metrics
+                          if name.startswith("fault.delay-spike.")]
+        assert fault_counters
