@@ -47,7 +47,8 @@ VIOLATION_METRICS = (
 #: Column headers of :func:`correctness_under_fault_rows`.
 RESILIENCE_HEADERS = ["fault", "technique", "runs", "completed",
                       "mean duration [s]", "dropped", "violations",
-                      "max broken [s]", "fault events"]
+                      "max broken [s]", "fault events", "recovered",
+                      "reinstalled"]
 
 
 def correctness_under_fault_rows(
@@ -62,6 +63,11 @@ def correctness_under_fault_rows(
     violations, broken time — the fault caused, next to the number of fault
     activations that caused it.  Fault-free groups (label ``"none"``) serve
     as the control rows.
+
+    The last two columns report the recovery subsystem: ``recovered`` counts
+    runs whose armed recovery manager reported full reconvergence (``-``
+    when no run of the group armed recovery — the pre-recovery rendering),
+    and ``reinstalled`` sums the rules replayed from shadow state.
     """
     rows: List[List[object]] = []
     for (fault, technique), summaries in sorted(groups.items()):
@@ -72,6 +78,14 @@ def correctness_under_fault_rows(
             int((s.get("metrics") or {}).get(key, 0))
             for s in summaries for key in VIOLATION_METRICS
         )
+        recoveries = [s.get("recovery") or {} for s in summaries]
+        recoveries = [r for r in recoveries if r]
+        recovered = (
+            f"{sum(1 for r in recoveries if r.get('reconverged'))}/{len(recoveries)}"
+            if recoveries else "-"
+        )
+        reinstalled = (sum(int(r.get("rules_reinstalled") or 0)
+                           for r in recoveries) if recoveries else "-")
         rows.append([
             fault,
             technique,
@@ -82,6 +96,8 @@ def correctness_under_fault_rows(
             violations,
             max(broken, default=0.0),
             sum(sum((s.get("faults") or {}).values()) for s in summaries),
+            recovered,
+            reinstalled,
         ])
     return rows
 

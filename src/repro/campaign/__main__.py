@@ -103,6 +103,11 @@ def build_parser() -> argparse.ArgumentParser:
                           "'none,ack-loss(probability=0.3)' (quote the "
                           "parentheses; 'none' keeps a fault-free control "
                           "group)")
+    run.add_argument("--recovery", type=_fault_csv, default=["off"],
+                     dest="recoveries",
+                     help="comma-separated recovery-policy strings, e.g. "
+                          "'off,on' or 'off,on(max_attempts=6)' ('off' keeps "
+                          "an unrecovered control group)")
     run.add_argument("--topology", default="auto",
                      help=f"topology family ({', '.join(TOPOLOGY_FAMILIES)}, "
                           "or 'auto' for each scenario's default)")
@@ -165,6 +170,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             scales=args.scales,
             seeds=args.seeds,
             faults=args.faults,
+            recoveries=args.recoveries,
             topology=args.topology,
             flow_count=args.flows,
             trace=args.trace,
@@ -178,10 +184,10 @@ def cmd_run(args: argparse.Namespace) -> int:
     cells = spec.cells()
     logger.info(
         "campaign: %d cells (%d scenarios x %d techniques x %d faults "
-        "x %d scales x %d seeds), %d workers -> %s",
+        "x %d recoveries x %d scales x %d seeds), %d workers -> %s",
         len(cells), len(spec.scenarios), len(spec.techniques),
-        len(spec.faults), len(spec.scales), len(spec.seeds),
-        runner.max_workers, args.out,
+        len(spec.faults), len(spec.recoveries), len(spec.scales),
+        len(spec.seeds), runner.max_workers, args.out,
     )
     if spec.trace and runner.trace_dir is not None:
         logger.info("tracing armed: shards -> %s", runner.trace_dir)

@@ -18,6 +18,7 @@ from typing import Dict, List
 
 from repro.core.techniques.registry import available_techniques
 from repro.faults.plan import NO_FAULTS, FaultPlan
+from repro.recovery.policy import NO_RECOVERY, RecoveryPolicy
 from repro.scenarios.base import ScenarioParams, available_scenarios
 
 
@@ -35,6 +36,9 @@ class CampaignCell:
     max_update_duration: float = 15.0
     #: Fault plan in compact string form (``"none"``: fault-free control run).
     fault: str = "none"
+    #: Recovery policy in compact string form (``"off"``: the pre-recovery
+    #: path); see :meth:`repro.recovery.RecoveryPolicy.from_string`.
+    recovery: str = "off"
     #: Arm rule-lifecycle tracing for this cell (see :mod:`repro.obs`).
     trace: bool = False
 
@@ -62,6 +66,10 @@ class CampaignCell:
         }
         if self.fault.lower() not in NO_FAULTS:
             config["fault"] = self.fault
+        # Same only-when-armed rule: recovery-off cells hash to their
+        # pre-recovery cell_id, so old results files still resume cleanly.
+        if self.recovery.lower() not in NO_RECOVERY:
+            config["recovery"] = self.recovery
         if self.trace:
             config["trace"] = True
         return config
@@ -85,6 +93,10 @@ class CampaignCell:
             # fault-free control run even for scenarios (fault-sweep) that
             # arm a default mix when the axis is absent.
             faults=self.fault,
+            # Likewise verbatim: an explicit "off" stays an unrecovered
+            # control run even for scenarios (rolling-upgrade) that default
+            # recovery on when the axis is absent.
+            recovery=self.recovery,
             trace=self.trace,
         )
 
@@ -94,6 +106,8 @@ class CampaignCell:
                  f"topo={self.topology} scale={self.scale} seed={self.seed}")
         if self.fault.lower() not in NO_FAULTS:
             label += f" fault={self.fault}"
+        if self.recovery.lower() not in NO_RECOVERY:
+            label += f" recovery={self.recovery}"
         if self.trace:
             label += " trace"
         return label
@@ -112,6 +126,10 @@ class CampaignSpec:
     #: Fault-plan strings (see :meth:`repro.faults.FaultPlan.from_string`);
     #: include ``"none"`` to keep a fault-free control group in the grid.
     faults: List[str] = field(default_factory=lambda: ["none"])
+    #: Recovery-policy strings (see
+    #: :meth:`repro.recovery.RecoveryPolicy.from_string`); include ``"off"``
+    #: to keep an unrecovered control group next to the recovered cells.
+    recoveries: List[str] = field(default_factory=lambda: ["off"])
     topology: str = "auto"
     flow_count: int = 8
     rate_pps: float = 250.0
@@ -122,7 +140,8 @@ class CampaignSpec:
 
     def validate(self) -> None:
         """Reject empty axes and unknown scenario/technique/fault names early."""
-        for axis_name in ("scenarios", "techniques", "scales", "seeds", "faults"):
+        for axis_name in ("scenarios", "techniques", "scales", "seeds", "faults",
+                          "recoveries"):
             if not getattr(self, axis_name):
                 raise ValueError(f"campaign axis {axis_name!r} is empty")
         known = set(available_scenarios())
@@ -144,6 +163,13 @@ class CampaignSpec:
             # parses as a string and fails the model's range checks).
             except (KeyError, ValueError, TypeError) as error:
                 raise ValueError(f"bad fault axis entry {fault!r}: {error}") from None
+        for recovery in self.recoveries:
+            try:
+                RecoveryPolicy.from_string(recovery).validate()
+            except (ValueError, TypeError) as error:
+                raise ValueError(
+                    f"bad recovery axis entry {recovery!r}: {error}"
+                ) from None
 
     def cells(self) -> List[CampaignCell]:
         """The full cross product, in deterministic order."""
@@ -159,11 +185,13 @@ class CampaignSpec:
                 rate_pps=self.rate_pps,
                 max_update_duration=self.max_update_duration,
                 fault=fault,
+                recovery=recovery,
                 trace=self.trace,
             )
-            for scenario, technique, fault, scale, seed in itertools.product(
-                self.scenarios, self.techniques, self.faults, self.scales,
-                self.seeds
+            for scenario, technique, fault, recovery, scale, seed
+            in itertools.product(
+                self.scenarios, self.techniques, self.faults, self.recoveries,
+                self.scales, self.seeds
             )
         ]
 

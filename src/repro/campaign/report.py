@@ -25,6 +25,7 @@ from repro.analysis.report import (
 )
 from repro.campaign.runner import FINAL_STATUSES, load_records
 from repro.faults.plan import NO_FAULTS
+from repro.recovery.policy import NO_RECOVERY
 from repro.session.record import SUMMARY_KEYS  # noqa: F401 - the record schema
 
 
@@ -73,8 +74,20 @@ def aggregate(records: List[Dict[str, object]]) -> List[List[object]]:
 
 
 def _fault_label(record: Dict[str, object]) -> str:
-    fault = str((record.get("config") or {}).get("fault") or "none")
-    return "none" if fault.lower() in NO_FAULTS else fault
+    """The record's group label: fault plan, plus recovery policy when armed.
+
+    A recovery-armed cell never merges with its unrecovered twin — the
+    resilience table renders them as adjacent rows (same fault prefix), which
+    is the recovered-vs-unrecovered comparison the campaign exists to show —
+    and the ``digests`` determinism column never mixes the two populations.
+    """
+    config = record.get("config") or {}
+    fault = str(config.get("fault") or "none")
+    label = "none" if fault.lower() in NO_FAULTS else fault
+    recovery = str(config.get("recovery") or "off")
+    if recovery.lower() not in NO_RECOVERY:
+        label += f" +recovery={recovery}"
+    return label
 
 
 def has_fault_axis(records: List[Dict[str, object]]) -> bool:

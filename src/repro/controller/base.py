@@ -54,11 +54,21 @@ class RuleAck:
     sent_at: float
     event: Event
     acked_at: Optional[float] = None
+    #: Set when the recovery machinery gives up on this ack (retransmission
+    #: attempts exhausted); a failed ack is no longer *pending*.
+    failed_at: Optional[float] = None
+    #: Transmissions of the FlowMod so far (1 = the original send).
+    attempts: int = 1
 
     @property
     def acked(self) -> bool:
         """Whether the acknowledgment has arrived."""
         return self.acked_at is not None
+
+    @property
+    def failed(self) -> bool:
+        """Whether the controller gave up waiting for this acknowledgment."""
+        return self.failed_at is not None
 
 
 class Controller:
@@ -87,6 +97,13 @@ class Controller:
         #: Application callbacks.
         self.packet_in_handlers: List[Callable[[str, PacketIn], None]] = []
         self.error_handlers: List[Callable[[str, ErrorMessage], None]] = []
+        #: Callbacks fired when a crashed switch reconnects (see
+        #: :meth:`on_switch_reconnect`).
+        self.reconnect_handlers: List[Callable[[str], None]] = []
+        #: The recovery manager, when the session armed one (see
+        #: :mod:`repro.recovery`).  ``None`` keeps every path below on the
+        #: exact pre-recovery event sequence.
+        self.recovery = None
 
         #: Measurement log: ``(switch, xid) -> (sent_at, acked_at)``.
         self.ack_log: Dict[Tuple[str, int], Tuple[float, float]] = {}
@@ -131,12 +148,45 @@ class Controller:
             event=event,
         )
         self._rule_acks[(switch_name, flowmod.xid)] = ack
+        if self.recovery is not None:
+            # Shadow the intended rule and arm the retransmit timer *before*
+            # sending: an AckMode.NONE send completes synchronously and the
+            # recovery bookkeeping must already know about the ack by then.
+            self.recovery.flowmod_sent(ack)
         self.send(switch_name, flowmod)
         if self.ack_mode == AckMode.NONE:
             self._complete_ack(ack)
         elif self.ack_mode == AckMode.BARRIER:
             self._unbarriered[switch_name].append(flowmod.xid)
         return ack
+
+    def retransmit(self, ack: RuleAck) -> None:
+        """Re-send an un-acked FlowMod with its original xid.
+
+        The original :class:`RuleAck` (and its event, which the
+        :class:`~repro.controller.update_plan.PlanExecutor` waits on) stays
+        the tracking record; the switch's per-boot xid de-duplication makes
+        a duplicate delivery harmless.  In barrier mode the xid re-enters
+        barrier coverage and a fresh barrier resolves it.
+        """
+        if ack.acked or ack.failed:
+            return
+        ack.attempts += 1
+        self.send(ack.switch, ack.flowmod)
+        if self.ack_mode == AckMode.BARRIER:
+            self._unbarriered[ack.switch].append(ack.xid)
+            self.send_barrier(ack.switch)
+
+    def fail_ack(self, ack: RuleAck) -> None:
+        """Give up on an un-acked FlowMod: mark it failed, not pending.
+
+        The ack's event stays un-triggered — the operation genuinely never
+        completed — but :meth:`pending_acks` no longer counts it, and
+        executors report it via ``PlanExecutor.summary()``.
+        """
+        if ack.acked or ack.failed:
+            return
+        ack.failed_at = self.sim.now
 
     def send_barrier(self, switch_name: str) -> Event:
         """Send a BarrierRequest; the returned event completes on its reply."""
@@ -189,15 +239,48 @@ class Controller:
         self.ack_log[(ack.switch, ack.xid)] = (ack.sent_at, ack.acked_at)
         if not ack.event.triggered:
             ack.event.succeed(self.sim.now)
+        if self.recovery is not None:
+            self.recovery.flowmod_acked(ack)
+
+    # -- recovery --------------------------------------------------------------
+    def on_switch_reconnect(self, switch_name: str) -> None:
+        """A crashed switch came back up (``Switch.restore`` lifecycle hook).
+
+        Application callbacks run first — infrastructure state (e.g. RUM's
+        probe-catch rules) must be back before the recovery manager replays
+        shadowed rules, whose acknowledgments may depend on it.
+        """
+        for handler in self.reconnect_handlers:
+            handler(switch_name)
+        if self.recovery is not None:
+            self.recovery.on_switch_reconnect(switch_name)
 
     # -- introspection ---------------------------------------------------------------
     def pending_acks(self, switch_name: Optional[str] = None) -> int:
-        """Number of FlowMods still waiting for acknowledgment."""
+        """Number of FlowMods still waiting for acknowledgment.
+
+        Failed acks (retransmission attempts exhausted, see
+        :meth:`fail_ack`) are no longer *waiting* and are not counted.
+        """
         return sum(
             1
             for (switch, _xid), ack in self._rule_acks.items()
-            if not ack.acked and (switch_name is None or switch == switch_name)
+            if not ack.acked and not ack.failed
+            and (switch_name is None or switch == switch_name)
         )
+
+    def failed_acks(self, switch_name: Optional[str] = None) -> List[RuleAck]:
+        """Acks abandoned after exhausting their retransmission budget."""
+        return [
+            ack
+            for (switch, _xid), ack in self._rule_acks.items()
+            if ack.failed and (switch_name is None or switch == switch_name)
+        ]
+
+    def ack_failed(self, switch_name: str, xid: int) -> bool:
+        """Whether the FlowMod with ``xid`` was abandoned (see :meth:`fail_ack`)."""
+        ack = self._rule_acks.get((switch_name, xid))
+        return ack is not None and ack.failed
 
     def ack_time(self, switch_name: str, xid: int) -> Optional[float]:
         """When the controller considered the given FlowMod complete."""

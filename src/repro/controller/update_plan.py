@@ -285,3 +285,35 @@ class PlanExecutor:
         if not self.duration or self.duration <= 0:
             return None
         return len(self._acked) / self.duration
+
+    def failed_operations(self) -> List[UpdateOperation]:
+        """Issued operations whose acks the controller gave up on.
+
+        Non-empty only when the recovery machinery abandoned un-acked
+        FlowMods after exhausting their retransmission budget (see
+        :meth:`repro.controller.base.Controller.fail_ack`).
+        """
+        return [
+            op for op_id, op in self.plan.operations.items()
+            if op_id in self._issued and not op.acked
+            and self.controller.ack_failed(op.switch, op.flowmod.xid)
+        ]
+
+    def summary(self) -> Dict[str, object]:
+        """Flat progress/outcome view of the execution (JSON-able).
+
+        ``failed`` counts operations stranded by abandoned acks — before the
+        recovery subsystem these sat in ``in_flight`` forever; now they are
+        reported as their own terminal state.
+        """
+        failed = len(self.failed_operations())
+        return {
+            "plan": self.plan.name,
+            "operations": len(self.plan.operations),
+            "issued": len(self._issued),
+            "acked": len(self._acked),
+            "in_flight": len(self._in_flight) - failed,
+            "failed": failed,
+            "completed": self.done.triggered,
+            "duration": self.duration,
+        }

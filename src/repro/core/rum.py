@@ -57,6 +57,9 @@ class RumLayer(ProxyLayer):
         self._mirrors: Dict[str, FlowTable] = {}
         #: Xids of messages RUM itself injected towards switches.
         self.rum_xids: Set[int] = set()
+        #: Deployment-time rules per switch (probe catch rules, ...), kept so
+        #: the recovery subsystem can re-seed a switch whose crash wiped them.
+        self._deployment_rules: Dict[str, List[FlowMod]] = {}
         #: Measurement log: ``(switch, xid) -> (forwarded, confirmed, how)``.
         self.confirmation_log: Dict[Tuple[str, int], Tuple[float, float, str]] = {}
         self.technique: AckTechnique = create_technique(self.config.technique, self)
@@ -113,6 +116,21 @@ class RumLayer(ProxyLayer):
             raise RuntimeError("attach_network() must be called before install_directly()")
         self.network.switch(switch_name).install_rule_directly(flowmod)
         self._mirrors[switch_name].apply_flowmod(flowmod, now=self.sim.now)
+        self._deployment_rules.setdefault(switch_name, []).append(flowmod)
+
+    def reinstall_deployment(self, switch_name: str) -> int:
+        """Re-apply the deployment-time rules a crash wiped off a switch.
+
+        Registered as a controller reconnect handler when recovery is armed:
+        without its probe-catch rules back, a restored switch's neighbourhood
+        can never confirm another rule.  Returns the number of rules
+        re-applied (idempotent — re-application replaces identical rules).
+        """
+        rules = self._deployment_rules.get(switch_name, [])
+        for flowmod in rules:
+            self.network.switch(switch_name).install_rule_directly(flowmod)
+            self._mirrors[switch_name].apply_flowmod(flowmod, now=self.sim.now)
+        return len(rules)
 
     def send_to_switch(self, switch_name: str, message: OFMessage) -> None:
         """Send a RUM-originated message to a switch (reply will be consumed)."""

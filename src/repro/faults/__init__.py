@@ -24,6 +24,7 @@ Registered fault models:
 ``channel-jitter`` control channel  per-message latency inflation (FIFO kept)
 ``disconnect``     control channel  connection down for a window, traffic lost
 ``switch-crash``   lifecycle        crash + restart with a flow-table wipe
+``link-flap``      lifecycle        ports dark for a window, tables survive
 =================  ===============  ===========================================
 
 Typical use::
@@ -63,7 +64,10 @@ from repro.faults.plan import (
     ArmedFaults,
     FaultPlan,
     FaultSpec,
+    GroupSpec,
+    RollingSpec,
     arm_fault_plan,
+    resolve_targets,
 )
 from repro.faults.registry import (
     RegisteredFault,

@@ -50,3 +50,48 @@ class SwitchCrashFault(LifecycleFault):
     def _restore(self, switch: "Switch") -> None:
         switch.restore()
         self.count("restarts")
+
+
+@register_fault
+class LinkFlapFault(LifecycleFault):
+    """All ports of the switch go dark for a window; its tables survive.
+
+    Models a transient link-layer outage (optics flap, LAG reconvergence):
+    for ``duration`` seconds from ``at`` every packet in or out of the
+    switch is lost, but — unlike :class:`SwitchCrashFault` — the control
+    connection stays up and no table is wiped, so nothing needs
+    reinstalling afterwards.  Packets already serialised onto a link when
+    the flap starts still arrive.
+    """
+
+    name = "link-flap"
+    param_defaults = {"at": 0.5, "duration": 0.2}
+
+    def validate(self) -> None:
+        if self.at < 0:
+            raise ValueError("at must be >= 0")
+        if self.duration <= 0:
+            raise ValueError("duration must be > 0")
+
+    def setup(self) -> None:
+        self._saved_ports = None
+
+    def schedule(self, switch: "Switch") -> None:
+        self.sim.schedule_callback(max(0.0, self.at - self.sim.now),
+                                   self._down, switch)
+
+    def _down(self, switch: "Switch") -> None:
+        # Outbound: an empty port map makes ``_transmit`` drop silently.
+        # Inbound: an instance attribute shadows ``receive_packet`` (links
+        # look the receiver method up at delivery time).
+        self._saved_ports = switch._ports
+        switch._ports = {}
+        switch.receive_packet = lambda packet, in_port: None
+        self.count("flaps")
+        self.sim.schedule_callback(self.duration, self._up, switch)
+
+    def _up(self, switch: "Switch") -> None:
+        switch._ports = self._saved_ports
+        self._saved_ports = None
+        switch.__dict__.pop("receive_packet", None)
+        self.count("restores")

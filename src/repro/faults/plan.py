@@ -1,4 +1,4 @@
-"""Declarative fault plans and their arming against a built network.
+"""Declarative fault plans, the fault-timeline DSL, and plan arming.
 
 A :class:`FaultPlan` is the data-only description of "which fault models run
 where, with which parameters, under which seed" — encoded like
@@ -14,25 +14,51 @@ result records.  Two codecs exist:
       ack-loss(probability=0.3)
       delay-spike(probability=0.05,spike=2.0)@s1|s2+switch-crash(at=0.4)@s1
 
-  ``+`` separates fault specs, ``(...)`` carries parameters, ``@`` restricts
-  the spec to named switches (``|``-separated); no ``@`` means topology-wide.
+  ``+`` separates plan entries, ``(...)`` carries parameters, ``@`` restricts
+  a spec to switches (``|``-separated); no ``@`` means topology-wide.
 
-:func:`arm_fault_plan` instantiates one fault-model instance per (spec,
-target switch) pair — each with a deterministically forked RNG, so schedules
-are reproducible under a fixed seed regardless of arming order — and
-installs the per-layer harnesses.  An empty (or absent) plan arms nothing:
-the fault-free path is byte-identical to a build without this subsystem.
+Beyond plain specs the string form is a small **fault-timeline DSL**:
+
+* **Correlated groups** — ``group(switch-crash@s1,delay-spike@s2)@t=0.5``
+  fires its schedulable members together at a common instant (each member's
+  own ``at`` becomes an *offset* from the group time); ``phase(...)`` is an
+  alias.  Members without a schedule knob (probability faults) are armed
+  as-is for the whole run.
+* **Rolling waves** — ``rolling(switch-crash(restart_after=0.3)@pod:0,stagger=0.2)``
+  expands one schedulable spec across its resolved targets with a per-target
+  time stagger: target *j* fires at ``base + j*stagger``.
+* **Target selectors** — anywhere a switch name is accepted: ``pod:N``
+  (fat-tree pod *N*, i.e. switches named ``A<N>-*`` / ``E<N>-*``),
+  ``prefix:P`` (name prefix), ``*`` (every switch), or a literal name.
+  Selectors resolve at arm time against the built network.
+
+:func:`arm_fault_plan` expands the plan (:meth:`FaultPlan.expanded`) into
+fully-resolved per-(entry, target) instances — each with a deterministically
+forked RNG, so schedules are reproducible under a fixed seed regardless of
+arming order — and installs the per-layer harnesses.  Plain specs keep their
+pre-DSL RNG labels (``fault:<index>:<name>:<target>``) byte-identically.
+An empty (or absent) plan arms nothing: the fault-free path is byte-identical
+to a build without this subsystem.
 """
 
 from __future__ import annotations
 
+import difflib
 import re
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.faults.base import CONTROL_CHANNEL, DATA_PLANE, FaultModel
 from repro.faults.harness import ControlChannelHarness, DataPlaneFaultHarness
-from repro.faults.registry import get_fault
+from repro.faults.registry import available_faults, get_fault
 from repro.sim.rng import SeededRandom
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle
@@ -48,6 +74,9 @@ _SPEC_PATTERN = re.compile(
     r"(?:\((?P<params>[^)]*)\))?"
     r"(?:@(?P<targets>[^()+]+))?$"
 )
+
+_GROUP_AT_PATTERN = re.compile(r"^@t=(?P<at>[^@]+)$")
+_WRAPPER_PATTERN = re.compile(r"^(?P<head>rolling|group|phase)\(")
 
 
 def split_outside_parens(text: str, separator: str) -> List[str]:
@@ -89,6 +118,24 @@ def _encode_scalar(value: object) -> str:
     return str(value)
 
 
+def _check_fault_name(name: str, token: str) -> None:
+    """Reject unregistered fault names at parse time, with a suggestion.
+
+    Only enforced when the registry is populated (it always is through the
+    :mod:`repro.faults` package; importing this module alone skips the check
+    and :meth:`FaultPlan.validate` still catches the name later).
+    """
+    known = available_faults()
+    if not known or name in known:
+        return
+    close = difflib.get_close_matches(name, known, n=1)
+    hint = f"; did you mean {close[0]!r}?" if close else ""
+    raise ValueError(
+        f"unknown fault {name!r} in {token!r}{hint} "
+        f"(available: {', '.join(known)})"
+    )
+
+
 @dataclass(frozen=True)
 class FaultSpec:
     """One fault model applied to some (or all) switches."""
@@ -97,7 +144,8 @@ class FaultSpec:
     fault: str
     #: Parameter overrides (defaults of the model fill the rest).
     params: Dict[str, object] = field(default_factory=dict)
-    #: Switch names the fault attaches to; empty means every switch.
+    #: Target tokens the fault attaches to — literal switch names or the
+    #: selectors ``pod:N`` / ``prefix:P`` / ``*``; empty means every switch.
     targets: Tuple[str, ...] = ()
 
     def as_dict(self) -> Dict[str, object]:
@@ -127,19 +175,29 @@ class FaultSpec:
 
     @classmethod
     def from_string(cls, text: str) -> "FaultSpec":
-        matched = _SPEC_PATTERN.match(text.strip())
+        token = text.strip()
+        matched = _SPEC_PATTERN.match(token)
         if not matched:
+            detail = ""
+            if token.count("(") != token.count(")"):
+                detail = "; parentheses are unbalanced"
+            elif " " in token.split("(", 1)[0]:
+                detail = "; fault names cannot contain spaces"
             raise ValueError(
-                f"cannot parse fault spec {text!r} "
-                "(expected name(key=value,...)@switch|switch)"
+                f"cannot parse fault spec {token!r} "
+                f"(expected name(key=value,...)@switch|switch){detail}"
             )
+        name = matched.group("name")
+        _check_fault_name(name, token)
         params: Dict[str, object] = {}
         for item in (matched.group("params") or "").split(","):
             item = item.strip()
             if not item:
                 continue
             if "=" not in item:
-                raise ValueError(f"fault parameter {item!r} is not key=value")
+                raise ValueError(
+                    f"fault parameter {item!r} in {token!r} is not key=value"
+                )
             key, _, value = item.partition("=")
             params[key.strip()] = _parse_scalar(value.strip())
         targets = tuple(
@@ -147,18 +205,240 @@ class FaultSpec:
             for target in (matched.group("targets") or "").split("|")
             if target.strip()
         )
-        return cls(fault=matched.group("name"), params=params, targets=targets)
+        return cls(fault=name, params=params, targets=targets)
+
+
+@dataclass(frozen=True)
+class GroupSpec:
+    """Correlated fault group: members fire together at a common instant.
+
+    Schedulable members (fault models with an ``at`` parameter) get
+    ``at = group.at + member.at`` — the member's own ``at`` acts as an
+    offset within the group.  Members without a schedule knob are armed
+    unchanged, for the whole run.
+    """
+
+    members: Tuple[FaultSpec, ...]
+    #: Common fire time as a fraction of the update window (same units as
+    #: every fault model's ``at``).
+    at: float = 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"group": {
+            "members": [member.as_dict() for member in self.members],
+            "at": self.at,
+        }}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "GroupSpec":
+        return cls(
+            members=tuple(FaultSpec.from_dict(entry)
+                          for entry in payload.get("members") or ()),
+            at=float(payload.get("at", 0.0)),
+        )
+
+    def to_string(self) -> str:
+        body = ",".join(member.to_string() for member in self.members)
+        suffix = f"@t={_encode_scalar(self.at)}" if self.at else ""
+        return f"group({body}){suffix}"
+
+    @classmethod
+    def from_string(cls, body: str, suffix: str, token: str) -> "GroupSpec":
+        at = 0.0
+        if suffix:
+            matched = _GROUP_AT_PATTERN.match(suffix)
+            if not matched:
+                raise ValueError(
+                    f"cannot parse group suffix {suffix!r} in {token!r} "
+                    "(expected @t=<time>)"
+                )
+            at = _parse_scalar(matched.group("at").strip())
+            if not isinstance(at, (int, float)) or isinstance(at, bool):
+                raise ValueError(
+                    f"group time {matched.group('at')!r} in {token!r} "
+                    "is not a number"
+                )
+        members = tuple(FaultSpec.from_string(part)
+                        for part in split_outside_parens(body, ","))
+        if not members:
+            raise ValueError(f"group {token!r} has no members")
+        return cls(members=members, at=float(at))
+
+
+@dataclass(frozen=True)
+class RollingSpec:
+    """Rolling wave: one schedulable spec staggered across its targets.
+
+    Target *j* (in resolved-target order) fires at ``base + j * stagger``
+    where ``base`` is :attr:`at`, falling back to the inner spec's own
+    ``at`` and then the fault model's default.
+    """
+
+    spec: FaultSpec
+    #: Per-target fire-time increment.
+    stagger: float = 0.1
+    #: Fire time of the first target; ``None`` defers to the inner spec.
+    at: Optional[float] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"rolling": {
+            "spec": self.spec.as_dict(),
+            "stagger": self.stagger,
+            "at": self.at,
+        }}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "RollingSpec":
+        at = payload.get("at")
+        return cls(
+            spec=FaultSpec.from_dict(payload["spec"]),
+            stagger=float(payload.get("stagger", 0.1)),
+            at=None if at is None else float(at),
+        )
+
+    def to_string(self) -> str:
+        parts = [self.spec.to_string(), f"stagger={_encode_scalar(self.stagger)}"]
+        if self.at is not None:
+            parts.append(f"at={_encode_scalar(self.at)}")
+        return f"rolling({','.join(parts)})"
+
+    @classmethod
+    def from_string(cls, body: str, token: str) -> "RollingSpec":
+        parts = split_outside_parens(body, ",")
+        if not parts:
+            raise ValueError(f"rolling {token!r} has no inner fault spec")
+        spec = FaultSpec.from_string(parts[0])
+        stagger, at = 0.1, None
+        for part in parts[1:]:
+            key, sep, value = part.partition("=")
+            key = key.strip()
+            if not sep or key not in ("stagger", "at"):
+                raise ValueError(
+                    f"cannot parse rolling option {part!r} in {token!r} "
+                    "(expected stagger=<step> or at=<time>)"
+                )
+            parsed = _parse_scalar(value.strip())
+            if not isinstance(parsed, (int, float)) or isinstance(parsed, bool):
+                raise ValueError(
+                    f"rolling option {part!r} in {token!r} is not a number"
+                )
+            if key == "stagger":
+                stagger = float(parsed)
+            else:
+                at = float(parsed)
+        return cls(spec=spec, stagger=stagger, at=at)
+
+
+#: Everything a plan's ``specs`` list may hold.
+PlanEntry = Union[FaultSpec, GroupSpec, RollingSpec]
+
+
+def _parse_entry(token: str) -> PlanEntry:
+    """Parse one ``+``-separated plan entry (spec, group or rolling)."""
+    wrapped = _WRAPPER_PATTERN.match(token)
+    if not wrapped:
+        return FaultSpec.from_string(token)
+    head = wrapped.group("head")
+    depth = 0
+    for position in range(len(head), len(token)):
+        char = token[position]
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+            if depth == 0:
+                body = token[len(head) + 1:position]
+                suffix = token[position + 1:].strip()
+                if head == "rolling":
+                    if suffix:
+                        raise ValueError(
+                            f"unexpected trailing {suffix!r} in {token!r} "
+                            "(rolling takes no @ suffix; put targets on the "
+                            "inner spec)"
+                        )
+                    return RollingSpec.from_string(body, token)
+                return GroupSpec.from_string(body, suffix, token)
+    raise ValueError(f"unbalanced parentheses in fault entry {token!r}")
+
+
+def _entry_from_dict(payload: Dict[str, object]) -> PlanEntry:
+    if "group" in payload:
+        return GroupSpec.from_dict(payload["group"])
+    if "rolling" in payload:
+        return RollingSpec.from_dict(payload["rolling"])
+    if "fault" in payload:
+        return FaultSpec.from_dict(payload)
+    raise ValueError(
+        f"cannot parse fault plan entry {payload!r} "
+        "(expected a 'fault', 'group' or 'rolling' key)"
+    )
+
+
+def resolve_targets(
+    tokens: Sequence[str],
+    network: "Network",
+    context: str = "",
+) -> List[str]:
+    """Resolve target tokens (names and selectors) against a built network.
+
+    Supports literal switch names, ``pod:N`` (fat-tree pod *N*: switches
+    ``A<N>-*`` and ``E<N>-*``), ``prefix:P`` (name prefix) and ``*`` (every
+    switch).  Order is deterministic: selector-match order follows
+    ``network.switch_names()``; duplicates are dropped.  Unknown names raise
+    :class:`ValueError` with a nearest-match suggestion.
+    """
+    names = network.switch_names()
+    if not tokens:
+        return list(names)
+    where = f"fault {context!r}" if context else "fault"
+    resolved: List[str] = []
+    seen = set()
+    for token in tokens:
+        if token == "*":
+            matched = list(names)
+        elif token.startswith("pod:"):
+            pod = re.escape(token.split(":", 1)[1])
+            pattern = re.compile(rf"^[AE]{pod}-")
+            matched = [name for name in names if pattern.match(name)]
+            if not matched:
+                raise ValueError(
+                    f"{where} selector {token!r} matches no switches "
+                    "(pods exist on fat-tree topologies, where pod N holds "
+                    f"A{token.split(':', 1)[1]}-* and E{token.split(':', 1)[1]}-*)"
+                )
+        elif token.startswith("prefix:"):
+            prefix = token.split(":", 1)[1]
+            matched = [name for name in names if name.startswith(prefix)]
+            if not matched:
+                raise ValueError(
+                    f"{where} selector {token!r} matches no switches; "
+                    f"switches: {names}"
+                )
+        else:
+            if token not in network.switches:
+                close = difflib.get_close_matches(token, names, n=1)
+                hint = f" (did you mean {close[0]!r}?)" if close else ""
+                raise ValueError(
+                    f"{where} targets unknown switch {token!r}{hint}; "
+                    f"switches: {names}"
+                )
+            matched = [token]
+        for name in matched:
+            if name not in seen:
+                seen.add(name)
+                resolved.append(name)
+    return resolved
 
 
 @dataclass
 class FaultPlan:
-    """A seeded set of :class:`FaultSpec` entries for one run.
+    """A seeded list of plan entries (specs, groups, rolling waves).
 
     An empty plan is exactly the fault-free path — ``SessionSpec`` treats
     ``faults=None`` and ``faults=FaultPlan()`` identically.
     """
 
-    specs: List[FaultSpec] = field(default_factory=list)
+    specs: List[PlanEntry] = field(default_factory=list)
     #: Root seed of every fault schedule; ``None`` derives it from the
     #: session seed so one seed knob still determines the whole run.
     seed: Optional[int] = None
@@ -168,14 +448,40 @@ class FaultPlan:
 
     def validate(self) -> None:
         """Resolve every fault name and instantiate once to check parameters."""
-        for spec in self.specs:
-            get_fault(spec.fault).instantiate(**spec.params)
+        for entry in self.specs:
+            self._validate_entry(entry)
+
+    @staticmethod
+    def _validate_entry(entry: PlanEntry) -> None:
+        if isinstance(entry, FaultSpec):
+            get_fault(entry.fault).instantiate(**entry.params)
+        elif isinstance(entry, GroupSpec):
+            if not entry.members:
+                raise ValueError("fault group has no members")
+            if entry.at < 0:
+                raise ValueError(f"group time {entry.at} is negative")
+            for member in entry.members:
+                get_fault(member.fault).instantiate(**member.params)
+        elif isinstance(entry, RollingSpec):
+            if entry.stagger < 0:
+                raise ValueError(f"rolling stagger {entry.stagger} is negative")
+            if entry.at is not None and entry.at < 0:
+                raise ValueError(f"rolling time {entry.at} is negative")
+            registered = get_fault(entry.spec.fault)
+            if "at" not in registered.param_defaults:
+                raise ValueError(
+                    f"rolling needs a schedulable fault (one with an 'at' "
+                    f"parameter); {entry.spec.fault!r} has none"
+                )
+            registered.instantiate(**entry.spec.params)
+        else:  # pragma: no cover - guarded by the codecs
+            raise TypeError(f"not a fault plan entry: {entry!r}")
 
     # -- codecs ---------------------------------------------------------------
     def as_dict(self) -> Dict[str, object]:
         """Canonical JSON form; :meth:`from_dict` round-trips it exactly."""
         return {
-            "specs": [spec.as_dict() for spec in self.specs],
+            "specs": [entry.as_dict() for entry in self.specs],
             "seed": self.seed,
         }
 
@@ -184,7 +490,7 @@ class FaultPlan:
         if payload is None:
             return cls()
         return cls(
-            specs=[FaultSpec.from_dict(entry)
+            specs=[_entry_from_dict(entry)
                    for entry in payload.get("specs") or []],
             seed=payload.get("seed"),
         )
@@ -193,7 +499,7 @@ class FaultPlan:
         """Compact one-line form (campaign axes); ``"none"`` when empty."""
         if self.empty():
             return "none"
-        return "+".join(spec.to_string() for spec in self.specs)
+        return "+".join(entry.to_string() for entry in self.specs)
 
     @classmethod
     def from_string(cls, text: Optional[str],
@@ -201,7 +507,7 @@ class FaultPlan:
         if text is None or text.strip().lower() in NO_FAULTS:
             return cls(seed=seed)
         return cls(
-            specs=[FaultSpec.from_string(part)
+            specs=[_parse_entry(part)
                    for part in split_outside_parens(text, "+")],
             seed=seed,
         )
@@ -209,6 +515,52 @@ class FaultPlan:
     def describe(self) -> str:
         """Short human-readable label for progress output and reports."""
         return self.to_string()
+
+    # -- expansion -------------------------------------------------------------
+    def expanded(
+        self, network: "Network",
+    ) -> List[Tuple[str, str, Dict[str, object], str]]:
+        """Fully-resolved ``(slot, fault name, params, target)`` instances.
+
+        The *slot* feeds the RNG fork label ``fault:<slot>:<name>:<target>``.
+        Plain specs keep their list index as slot — byte-identical to the
+        pre-DSL labels — group member *m* of entry *i* gets ``"i.m"``, and a
+        rolling entry reuses its index (the target disambiguates).
+        """
+        instances: List[Tuple[str, str, Dict[str, object], str]] = []
+        for index, entry in enumerate(self.specs):
+            if isinstance(entry, FaultSpec):
+                for target in resolve_targets(entry.targets, network,
+                                              context=entry.fault):
+                    instances.append(
+                        (str(index), entry.fault, dict(entry.params), target))
+            elif isinstance(entry, GroupSpec):
+                for position, member in enumerate(entry.members):
+                    params = dict(member.params)
+                    if "at" in get_fault(member.fault).param_defaults:
+                        params["at"] = entry.at + float(params.get("at", 0.0))
+                    for target in resolve_targets(member.targets, network,
+                                                  context=member.fault):
+                        instances.append(
+                            (f"{index}.{position}", member.fault,
+                             dict(params), target))
+            elif isinstance(entry, RollingSpec):
+                inner = entry.spec
+                defaults = get_fault(inner.fault).param_defaults
+                if entry.at is not None:
+                    base = entry.at
+                else:
+                    base = float(inner.params.get("at", defaults.get("at", 0.0)))
+                targets = resolve_targets(inner.targets, network,
+                                          context=inner.fault)
+                for position, target in enumerate(targets):
+                    params = dict(inner.params)
+                    params["at"] = base + position * entry.stagger
+                    instances.append(
+                        (str(index), inner.fault, params, target))
+            else:  # pragma: no cover - guarded by the codecs
+                raise TypeError(f"not a fault plan entry: {entry!r}")
+        return instances
 
 
 class ArmedFaults:
@@ -240,12 +592,13 @@ def arm_fault_plan(
     plan: Optional[FaultPlan],
     default_seed: int = 7,
 ) -> ArmedFaults:
-    """Instantiate and install ``plan`` against ``network``.
+    """Expand and install ``plan`` against ``network``.
 
-    Every (spec, target) pair gets its own fault instance and an RNG forked
-    by a label — ``fault:<index>:<name>:<target>`` — from the plan seed (or
-    ``default_seed``), so schedules are deterministic and independent of both
-    arming order and how many other faults the plan carries.
+    Every expanded (entry, target) instance gets its own fault object and an
+    RNG forked by a label — ``fault:<slot>:<name>:<target>`` — from the plan
+    seed (or ``default_seed``), so schedules are deterministic and
+    independent of both arming order and how many other faults the plan
+    carries.
     """
     armed = ArmedFaults()
     if plan is None or plan.empty():
@@ -253,25 +606,18 @@ def arm_fault_plan(
     root = SeededRandom(plan.seed if plan.seed is not None else default_seed)
     dataplane_faults: Dict[str, List[FaultModel]] = {}
     control_faults: Dict[str, List[FaultModel]] = {}
-    for index, spec in enumerate(plan.specs):
-        entry = get_fault(spec.fault)
-        targets: Sequence[str] = spec.targets or network.switch_names()
-        for target in targets:
-            if target not in network.switches:
-                raise ValueError(
-                    f"fault {spec.fault!r} targets unknown switch {target!r}; "
-                    f"switches: {network.switch_names()}"
-                )
-            fault = entry.instantiate(**spec.params)
-            fault.arm(sim, root.fork(f"fault:{index}:{spec.fault}:{target}"))
-            fault._trace_target = target  # fault-overlay trace events
-            armed.instances.append((target, fault))
-            if entry.layer == DATA_PLANE:
-                dataplane_faults.setdefault(target, []).append(fault)
-            elif entry.layer == CONTROL_CHANNEL:
-                control_faults.setdefault(target, []).append(fault)
-            else:
-                fault.schedule(network.switch(target))
+    for slot, name, params, target in plan.expanded(network):
+        entry = get_fault(name)
+        fault = entry.instantiate(**params)
+        fault.arm(sim, root.fork(f"fault:{slot}:{name}:{target}"))
+        fault._trace_target = target  # fault-overlay trace events
+        armed.instances.append((target, fault))
+        if entry.layer == DATA_PLANE:
+            dataplane_faults.setdefault(target, []).append(fault)
+        elif entry.layer == CONTROL_CHANNEL:
+            control_faults.setdefault(target, []).append(fault)
+        else:
+            fault.schedule(network.switch(target))
     for name, faults in dataplane_faults.items():
         armed.harnesses.append(DataPlaneFaultHarness(network.switch(name), faults))
     for name, faults in control_faults.items():

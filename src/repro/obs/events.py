@@ -23,6 +23,12 @@ PHASE_ACK_SENT = "ack-sent"
 PHASE_ACK_RECEIVED = "ack-received"
 PHASE_HW_ACTIVATED = "hw-activated"
 PHASE_FAULT = "fault"
+# Recovery overlay (see :mod:`repro.recovery`): a shadow replay after a
+# switch reconnect. Deliberately *not* part of LIFECYCLE_PHASES — resync
+# spans live beside rule lifecycles, they are not a phase of one rule.
+PHASE_RESYNC_STARTED = "resync-started"
+PHASE_RULE_REINSTALLED = "rule-reinstalled"
+PHASE_RESYNC_COMPLETE = "resync-complete"
 
 #: Lifecycle phases in causal order (``fault`` is an overlay, not a phase).
 LIFECYCLE_PHASES: Tuple[str, ...] = (
@@ -35,7 +41,12 @@ LIFECYCLE_PHASES: Tuple[str, ...] = (
     PHASE_HW_ACTIVATED,
 )
 
-_KNOWN_PHASES = set(LIFECYCLE_PHASES) | {PHASE_FAULT}
+_KNOWN_PHASES = set(LIFECYCLE_PHASES) | {
+    PHASE_FAULT,
+    PHASE_RESYNC_STARTED,
+    PHASE_RULE_REINSTALLED,
+    PHASE_RESYNC_COMPLETE,
+}
 
 
 class TraceEvent:

@@ -10,7 +10,10 @@ naturally onto the rule lifecycle:
   ``rule <xid>`` stretching from ``update-issued`` to ``hw-activated``,
   so the ack-vs-activation gap is visible as the part of the span after
   the ``ack-received`` marker;
-* fault activations land on a dedicated ``faults@<switch>`` track.
+* fault activations land on a dedicated ``faults@<switch>`` track;
+* each shadow-replay resync becomes a span named ``resync`` on a
+  ``recovery@<switch>`` track, stretching from ``resync-started`` to
+  ``resync-complete``, with ``rule-reinstalled`` instants inside it.
 
 Sim-time seconds are scaled to the format's microseconds.
 :func:`validate_chrome_trace` is the schema check CI runs against a traced
@@ -25,9 +28,17 @@ from typing import Any, Dict, List, Optional
 from repro.obs.events import (
     PHASE_FAULT,
     PHASE_HW_ACTIVATED,
+    PHASE_RESYNC_COMPLETE,
+    PHASE_RESYNC_STARTED,
+    PHASE_RULE_REINSTALLED,
     PHASE_UPDATE_ISSUED,
     TraceLog,
 )
+
+#: Phases rendered on the per-switch ``recovery@...`` track.
+_RECOVERY_PHASES = frozenset({
+    PHASE_RESYNC_STARTED, PHASE_RULE_REINSTALLED, PHASE_RESYNC_COMPLETE,
+})
 
 _US = 1_000_000.0  # sim seconds → trace microseconds
 
@@ -53,6 +64,8 @@ def write_jsonl(log: TraceLog, path) -> None:
 def _track_name(event) -> str:
     if event.phase == PHASE_FAULT:
         return f"faults@{event.switch}" if event.switch else "faults"
+    if event.phase in _RECOVERY_PHASES:
+        return f"recovery@{event.switch}" if event.switch else "recovery"
     return event.switch or "controller"
 
 
@@ -61,6 +74,10 @@ def trace_to_chrome(log: TraceLog) -> Dict[str, Any]:
     events: List[Dict[str, Any]] = []
     tids: Dict[str, int] = {}
     spans: Dict[tuple, Dict[str, float]] = {}
+    #: Open resync start timestamp per switch (a switch can resync more than
+    #: once — each started/complete pair becomes its own span).
+    open_resyncs: Dict[str, float] = {}
+    resync_spans: List[tuple] = []
 
     def tid_for(track: str) -> int:
         tid = tids.get(track)
@@ -90,6 +107,13 @@ def trace_to_chrome(log: TraceLog) -> Dict[str, Any]:
             "tid": tid_for(track),
             "args": args,
         })
+        if event.switch and event.phase == PHASE_RESYNC_STARTED:
+            open_resyncs[event.switch] = event.ts
+        elif event.switch and event.phase == PHASE_RESYNC_COMPLETE:
+            started = open_resyncs.pop(event.switch, None)
+            if started is not None:
+                resync_spans.append((event.switch, started, event.ts,
+                                     event.detail))
         if event.xid is None or not event.switch:
             continue
         key = (event.switch, event.xid)
@@ -111,6 +135,20 @@ def trace_to_chrome(log: TraceLog) -> Dict[str, Any]:
             "tid": tid_for(switch),
             "args": {"xid": xid, "switch": switch,
                      "technique": log.technique},
+        })
+
+    for switch, started, completed, detail in resync_spans:
+        args = {"switch": switch, "technique": log.technique}
+        if detail:
+            args["detail"] = detail
+        events.append({
+            "name": "resync",
+            "ph": "X",
+            "ts": started * _US,
+            "dur": max(0.0, completed - started) * _US,
+            "pid": _PID,
+            "tid": tid_for(f"recovery@{switch}"),
+            "args": args,
         })
 
     return {

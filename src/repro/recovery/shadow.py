@@ -1,0 +1,74 @@
+"""The controller's shadow of intended per-switch forwarding state.
+
+Every FlowMod the controller issues is mirrored into a per-switch
+:class:`~repro.openflow.flowtable.FlowTable`, so the shadow carries the same
+ADD/MODIFY/DELETE semantics the switch itself applies.  After a crash wipes
+a switch, :meth:`ShadowStore.missing_rules` diffs the shadow against the
+switch's data plane and yields the rules that must be reinstalled — the
+controller's ground truth of "what should be there", independent of any
+optimistic acknowledgment the switch sent before dying (which is the
+paper's point: those signals cannot be trusted).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List
+
+from repro.openflow.constants import FlowModCommand
+from repro.openflow.flowtable import FlowEntry, FlowTable
+from repro.openflow.messages import FlowMod
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.switches.base import Switch
+
+
+class ShadowStore:
+    """Per-switch shadow flow tables fed from ``Controller.send_flowmod``."""
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, FlowTable] = {}
+
+    def table(self, switch_name: str) -> FlowTable:
+        table = self._tables.get(switch_name)
+        if table is None:
+            table = FlowTable(name=f"{switch_name}.shadow")
+            self._tables[switch_name] = table
+        return table
+
+    def record(self, switch_name: str, flowmod: FlowMod, now: float) -> None:
+        """Mirror one issued FlowMod into the switch's shadow table."""
+        self.table(switch_name).apply_flowmod(flowmod, now=now)
+
+    def rule_count(self, switch_name: str) -> int:
+        table = self._tables.get(switch_name)
+        return len(table) if table is not None else 0
+
+    def missing_rules(self, switch: "Switch") -> List[FlowEntry]:
+        """Shadow entries not currently active in ``switch``'s data plane.
+
+        After a crash-with-wipe this is every intended rule; rules that
+        survived (or were re-installed out of band) are skipped so resync
+        never double-installs.
+        """
+        table = self._tables.get(switch.name)
+        if table is None:
+            return []
+        active = switch.dataplane.table.signature_set()
+        return [entry for entry in table.entries
+                if entry.signature() not in active]
+
+    @staticmethod
+    def reinstall_flowmod(entry: FlowEntry) -> FlowMod:
+        """A fresh FlowMod (new xid) re-adding one shadow entry.
+
+        Fresh xids keep the reinstall distinct from the original install in
+        every xid-keyed structure along the path — the controller's ack
+        table, RUM's pending tracker, the trace timeline.
+        """
+        return FlowMod(
+            match=entry.match,
+            actions=entry.actions,
+            command=FlowModCommand.ADD,
+            priority=entry.priority,
+            cookie=entry.cookie,
+        )

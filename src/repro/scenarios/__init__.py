@@ -8,6 +8,8 @@ Importing this package registers the built-in scenarios:
 ``firewall-rollout``  roll an HTTP-drop policy hop by hop along a path
 ``ecmp-rebalance``    spread spine-pinned flows across all spines
 ``fault-sweep``       path migration under injected faults (``--faults``)
+``rolling-upgrade``   staggered crash wave across a fat-tree pod (recovery)
+``correlated-tor-outage``  ToR crash + uplink flap, one correlated group
 ====================  =====================================================
 
 Typical use::
@@ -43,6 +45,7 @@ from repro.scenarios import fault_sweep as _fault_sweep  # noqa: F401
 from repro.scenarios import firewall_rollout as _firewall_rollout  # noqa: F401
 from repro.scenarios import migration as _migration  # noqa: F401
 from repro.scenarios import rebalance as _rebalance  # noqa: F401
+from repro.scenarios import rolling as _rolling  # noqa: F401
 
 __all__ = [
     "SCENARIOS",

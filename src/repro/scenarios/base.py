@@ -57,6 +57,12 @@ class ScenarioParams:
     #: fault-free.  A string — not a :class:`~repro.faults.plan.FaultPlan` —
     #: so campaign configs stay hashable and JSON-able.
     faults: Optional[str] = None
+    #: Recovery policy in its compact string form (see
+    #: :meth:`repro.recovery.RecoveryPolicy.from_string`, e.g. ``"on"`` or
+    #: ``"on(max_attempts=6)"``); ``None``/``"off"`` runs without recovery —
+    #: the byte-identical pre-recovery path.  A string for the same reason
+    #: :attr:`faults` is one.
+    recovery: Optional[str] = None
     #: Arm rule-lifecycle tracing (see :mod:`repro.obs`); the run's record
     #: then carries a :class:`~repro.obs.events.TraceLog`.
     trace: bool = False
@@ -151,6 +157,21 @@ class Scenario:
         if self.params.faults:
             return FaultPlan.from_string(self.params.faults)
         return None
+
+    def recovery_policy(self):
+        """The :class:`~repro.recovery.RecoveryPolicy` this run arms.
+
+        Default: parse :attr:`ScenarioParams.recovery`; any "off" spelling
+        (or an unset knob) returns ``None``, the byte-identical
+        pre-recovery path.  Recovery-centric scenarios (``rolling-upgrade``)
+        override this to default recovery on.
+        """
+        from repro.recovery.policy import NO_RECOVERY, RecoveryPolicy
+
+        text = (self.params.recovery or "").strip().lower()
+        if text in NO_RECOVERY:
+            return None
+        return RecoveryPolicy.from_string(self.params.recovery)
 
 
 #: The registry: scenario name -> scenario class.

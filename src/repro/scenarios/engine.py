@@ -58,6 +58,7 @@ def scenario_session(
             max_update_duration=params.max_update_duration,
             max_unconfirmed=params.max_unconfirmed or max(2 * params.flow_count, 16),
             rate_pps=params.rate_pps,
+            recovery=scenario.recovery_policy(),
         ),
         labels={
             "scenario": scenario.name,

@@ -35,6 +35,7 @@ from repro.faults.plan import ArmedFaults, arm_fault_plan
 from repro.net.network import Network
 from repro.net.traffic import TrafficGenerator
 from repro.obs.tracer import Tracer, install_tracer, uninstall_tracer
+from repro.recovery.manager import RecoveryManager
 from repro.session.record import RunRecord
 from repro.session.spec import SessionSpec
 from repro.session.stack import build_control_stack
@@ -134,6 +135,22 @@ def _run_session(spec: SessionSpec, tracer: Optional[Tracer]) -> RunRecord:
     if spec.faults is not None and not spec.faults.empty():
         armed = arm_fault_plan(sim, network, spec.faults, default_seed=knobs.seed)
 
+    # 2c. Recovery ---------------------------------------------------------------
+    # Only an *active* policy constructs a manager; with ``recovery`` unset
+    # (or disabled) the controller's ``recovery`` attribute stays ``None``
+    # and every send/ack path is byte-identical to the pre-recovery code.
+    recovery: Optional[RecoveryManager] = None
+    if knobs.recovery is not None and knobs.recovery.active:
+        recovery = RecoveryManager(sim, stack.controller, network,
+                                   policy=knobs.recovery)
+        recovery.attach()
+        if stack.rum is not None:
+            # A crash also wipes RUM's deployment rules (probe catches);
+            # without them back a restored neighbourhood cannot confirm
+            # anything, so re-seed them before the shadow replay runs.
+            stack.controller.reconnect_handlers.append(
+                stack.rum.reinstall_deployment)
+
     # 3. Traffic ----------------------------------------------------------------
     traffic: Optional[TrafficGenerator] = None
     if workload.traffic and flows:
@@ -231,6 +248,7 @@ def _run_session(spec: SessionSpec, tracer: Optional[Tracer]) -> RunRecord:
         rum_probe_rule_updates=getattr(rum_technique, "probe_rule_updates_sent", 0),
         rum_probes_injected=getattr(rum_technique, "probes_injected", 0),
         fault_events=armed.counters() if armed is not None else {},
+        recovery=recovery.report() if recovery is not None else {},
     )
     if tracer is not None:
         record.trace = tracer.finish(meta={

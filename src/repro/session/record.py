@@ -45,6 +45,7 @@ SUMMARY_KEYS = (
     "max_broken_time",
     "metrics",
     "faults",
+    "recovery",
     "digest",
 )
 
@@ -125,6 +126,10 @@ class RunRecord:
     #: ``"<fault>.<event>" -> count`` of injected-fault activations, summed
     #: over target switches (empty for fault-free runs).
     fault_events: Dict[str, int] = field(default_factory=dict)
+    #: Convergence accounting of the recovery subsystem
+    #: (:meth:`repro.recovery.manager.RecoveryManager.report`); empty when
+    #: the session armed no recovery manager.
+    recovery: Dict[str, object] = field(default_factory=dict)
     #: Rule-lifecycle trace collected when the spec armed tracing
     #: (``None`` otherwise); see :mod:`repro.obs`.
     trace: Optional[TraceLog] = None
@@ -185,6 +190,10 @@ class RunRecord:
         }
         if self.fault_events:
             payload["fault_events"] = dict(self.fault_events)
+        # Same pattern: the key exists only when a recovery manager ran, so
+        # recovery-off payloads (and digests) match pre-recovery records.
+        if self.recovery:
+            payload["recovery"] = dict(self.recovery)
         # Like fault_events: only present when tracing was armed, so
         # trace-off payloads stay byte-identical to pre-tracing records.
         if self.trace is not None and self.trace:
@@ -226,6 +235,7 @@ class RunRecord:
             rum_probe_rule_updates=payload.get("rum_probe_rule_updates", 0),
             rum_probes_injected=payload.get("rum_probes_injected", 0),
             fault_events=dict(payload.get("fault_events") or {}),
+            recovery=dict(payload.get("recovery") or {}),
             trace=(TraceLog.from_dict(payload["trace"])
                    if payload.get("trace") else None),
         )
@@ -255,6 +265,7 @@ class RunRecord:
             "max_broken_time": self.max_broken_time,
             "metrics": dict(self.metrics),
             "faults": dict(self.fault_events),
+            "recovery": dict(self.recovery),
             "digest": self.digest(),
         }
 

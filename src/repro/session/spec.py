@@ -22,6 +22,7 @@ from repro.controller.update_plan import UpdatePlan
 from repro.core.techniques.registry import RegisteredTechnique, resolve_technique
 from repro.faults.plan import FaultPlan
 from repro.net.network import Network
+from repro.recovery.policy import RecoveryPolicy
 from repro.net.topology import Topology
 from repro.net.traffic import FlowSpec
 
@@ -91,6 +92,10 @@ class SessionKnobs:
     #: Nominal per-flow packet rate (sets the expected inter-packet gap used
     #: to turn delivery gaps into broken time).
     rate_pps: float = 250.0
+    #: Controller-side recovery policy (retransmits + crash resync); ``None``
+    #: keeps the pre-recovery code paths byte-identical.  See
+    #: :mod:`repro.recovery`.
+    recovery: Optional["RecoveryPolicy"] = None
 
 
 @dataclass
@@ -156,7 +161,7 @@ class SessionSpec:
                 "with_barrier_layer": self.stack.with_barrier_layer,
                 "buffer_after_barrier": self.stack.buffer_after_barrier,
             },
-            "knobs": asdict(self.knobs),
+            "knobs": self._knobs_config(),
             # An empty plan normalises to None: both mean the fault-free path.
             "faults": (self.faults.as_dict()
                        if self.faults is not None and not self.faults.empty()
@@ -167,6 +172,18 @@ class SessionSpec:
         if self.trace:
             config["trace"] = True
         return config
+
+    def _knobs_config(self) -> Dict[str, object]:
+        """JSON form of the knobs; the recovery key exists only when set.
+
+        An absent policy and a disabled one are both "no recovery", and
+        omitting the key keeps knob encodings byte-identical to configs
+        produced before the recovery subsystem existed.
+        """
+        knobs = asdict(self.knobs)
+        if knobs.get("recovery") is None:
+            knobs.pop("recovery", None)
+        return knobs
 
     def run(self):
         """Execute the session; returns a :class:`~repro.session.record.RunRecord`."""

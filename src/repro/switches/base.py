@@ -68,6 +68,10 @@ class Switch:
         #: Bumped on every crash; work captured under an older epoch (a
         #: delayed fault callback, a handler mid-yield) must not take effect.
         self.crash_epoch = 0
+        #: ``(switch name, "crash"|"restore")`` observers — the recovery
+        #: subsystem's reconnect hook.  Empty (and never iterated) unless
+        #: something registered, so the fault-free path is unchanged.
+        self._lifecycle_listeners: List[Callable[[str, str], None]] = []
 
         # Counters used by tests and the microbenchmarks.
         self.packets_received = 0
@@ -119,11 +123,28 @@ class Switch:
         self.crash_epoch += 1
         self.dataplane.wipe()
         self.controlplane.crash_reset(wipe_table=wipe_control_plane)
+        self._notify_lifecycle("crash")
 
     def restore(self) -> None:
-        """Bring a crashed switch back up — with whatever (empty) tables it has."""
+        """Bring a crashed switch back up — with whatever (empty) tables it has.
+
+        A no-op on a switch that is not crashed: a stray restore (overlapping
+        fault schedules, double restore) must not fire reconnect hooks or
+        trigger a resync.
+        """
+        if not self._crashed:
+            return
         self._crashed = False
         self.controlplane.restore()
+        self._notify_lifecycle("restore")
+
+    def on_lifecycle(self, listener: Callable[[str, str], None]) -> None:
+        """Register a ``(switch name, event)`` crash/restore observer."""
+        self._lifecycle_listeners.append(listener)
+
+    def _notify_lifecycle(self, event: str) -> None:
+        for listener in self._lifecycle_listeners:
+            listener(self.name, event)
 
     # -- control plane output ---------------------------------------------------
     def _send_to_controller(self, message: OFMessage) -> None:

@@ -151,6 +151,14 @@ class ControlPlane:
         self.flowmods_processed = 0
         self.packet_outs_processed = 0
         self.packet_ins_sent = 0
+        #: FlowMod xids applied since the last (re)boot: controller-side
+        #: retransmissions of an un-acked FlowMod are idempotent within one
+        #: boot, but a retransmit arriving after a crash-wipe must apply —
+        #: the rule is gone — so the set is cleared by :meth:`crash_reset`
+        #: (*not* :attr:`control_apply_log`, which deliberately survives
+        #: crashes for measurement).
+        self._applied_xids: set = set()
+        self.duplicate_flowmods = 0
 
         self._processes_started = False
         #: Set while the switch is crashed (lifecycle faults): inbound
@@ -192,6 +200,7 @@ class ControlPlane:
         self._pending_ops.clear()
         self._barrier_waiters.clear()
         self._stolen_time = 0.0
+        self._applied_xids.clear()
         if wipe_table:
             self.table.clear()
 
@@ -254,6 +263,11 @@ class ControlPlane:
             # The agent died mid-processing (even if it restarted since):
             # the modification is lost and must not touch the wiped tables.
             return
+        if flowmod.xid in self._applied_xids:
+            # A controller-side retransmission of a FlowMod this boot already
+            # applied: drop it (same-xid delivery is exactly-once per boot).
+            self.duplicate_flowmods += 1
+            return
         try:
             self.table.apply_flowmod(flowmod, now=self.sim.now)
         except TableFullError:
@@ -261,6 +275,7 @@ class ControlPlane:
                                     int(OFErrorCode.ALL_TABLES_FULL), data=flowmod.xid,
                                     xid=flowmod.xid))
             return
+        self._applied_xids.add(flowmod.xid)
         self.flowmods_processed += 1
         self.control_apply_log[flowmod.xid] = self.sim.now
         tr = obs_tracer.TRACER

@@ -208,13 +208,24 @@ def test_resilience_table_golden():
              "metrics": {"http_bypassing_firewall": 2},
              "faults": {"ack-loss.drops": 3}},
         ],
+        ("switch-crash(at=0.5)", "general"): [
+            {"update_duration": 1.0, "completed": True, "dropped_packets": 9,
+             "max_broken_time": 0.75, "metrics": {},
+             "faults": {"switch-crash.crashes": 1},
+             "recovery": {"reconverged": True, "rules_reinstalled": 4}},
+            {"update_duration": 1.0, "completed": True, "dropped_packets": 30,
+             "max_broken_time": 1.5, "metrics": {},
+             "faults": {"switch-crash.crashes": 1},
+             "recovery": {"reconverged": False, "rules_reinstalled": 2}},
+        ],
     }
     expected = (
         "Resilience\n"
-        "fault                     | technique | runs | completed | mean duration [s] | dropped | violations | max broken [s] | fault events\n"
-        "--------------------------+-----------+------+-----------+-------------------+---------+------------+----------------+-------------\n"
-        "ack-loss(probability=0.3) | timeout   | 1    | 0/1       | -                 | 7       | 2          | 1.250          | 3           \n"
-        "none                      | barrier   | 2    | 2/2       | 1.500             | 2       | 0          | 0.500          | 0           "
+        "fault                     | technique | runs | completed | mean duration [s] | dropped | violations | max broken [s] | fault events | recovered | reinstalled\n"
+        "--------------------------+-----------+------+-----------+-------------------+---------+------------+----------------+--------------+-----------+------------\n"
+        "ack-loss(probability=0.3) | timeout   | 1    | 0/1       | -                 | 7       | 2          | 1.250          | 3            | -         | -          \n"
+        "none                      | barrier   | 2    | 2/2       | 1.500             | 2       | 0          | 0.500          | 0            | -         | -          \n"
+        "switch-crash(at=0.5)      | general   | 2    | 2/2       | 1.000             | 39      | 0          | 1.500          | 2            | 1/2       | 6          "
     )
     table = format_table(RESILIENCE_HEADERS,
                          correctness_under_fault_rows(groups),

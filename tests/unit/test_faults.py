@@ -470,8 +470,13 @@ class TestFaultPlan:
             FaultPlan.from_string("ack loss")
         with pytest.raises(ValueError, match="key=value"):
             FaultPlan.from_string("ack-loss(0.3)")
-        with pytest.raises(KeyError, match="unknown fault"):
-            FaultPlan.from_string("gremlin(count=3)").validate()
+        with pytest.raises(ValueError, match="unknown fault 'gremlin'"):
+            FaultPlan.from_string("gremlin(count=3)")
+        # Near-miss names come back with a suggestion.
+        with pytest.raises(ValueError, match="did you mean 'ack-loss'"):
+            FaultPlan.from_string("ack-los(probability=0.3)")
+        with pytest.raises(ValueError, match="unbalanced"):
+            FaultPlan.from_string("rolling(switch-crash")
 
     def test_arm_rejects_unknown_target(self):
         from repro.net.network import Network
