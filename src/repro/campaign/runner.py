@@ -92,8 +92,8 @@ def load_records(results_path: Path) -> List[Dict[str, object]]:
     if not results_path.exists():
         return records
     with results_path.open("r", encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
+        for raw_line in handle:
+            line = raw_line.strip()
             if not line:
                 continue
             try:

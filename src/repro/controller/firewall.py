@@ -36,7 +36,7 @@ from repro.faults import DataPlaneFault, FaultInjector
 from repro.switches.profiles import SwitchProfile, hp5406zl_profile
 
 
-class DelayedHttpRuleFault(DataPlaneFault):
+class DelayedHttpRuleFault(DataPlaneFault):  # repro: noqa(RL007): scenario-local fault, instantiated directly by FirewallScenario; registry exposure would invite misuse in fault plans
     """Delays the data-plane installation of the HTTP (firewall) rule.
 
     This reproduces, deterministically, the "hard to predict corner cases

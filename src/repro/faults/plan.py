@@ -190,8 +190,8 @@ class FaultSpec:
         name = matched.group("name")
         _check_fault_name(name, token)
         params: Dict[str, object] = {}
-        for item in (matched.group("params") or "").split(","):
-            item = item.strip()
+        for raw_item in (matched.group("params") or "").split(","):
+            item = raw_item.strip()
             if not item:
                 continue
             if "=" not in item:

@@ -1,0 +1,83 @@
+"""Reproducibility linter and determinism sanitizer.
+
+Static pass (``python -m repro.lint``): AST rules RL001-RL007 enforcing the
+repo's determinism and zero-cost-observability invariants, with a rule
+registry mirroring the technique registry and a justified-suppression
+policy (``# repro: noqa(RL###): <why>``).
+
+Runtime pass (``python -m repro.lint --sanitize <scenario>``): double-run
+event-stream diffing that names the first divergent simulator event, plus
+a wall-clock tripwire and a cross-process ``PYTHONHASHSEED`` probe.
+"""
+
+from repro.lint.diagnostics import (
+    ENGINE_CODE,
+    Diagnostic,
+    count_by_code,
+    diagnostics_payload,
+    render_diagnostics,
+)
+from repro.lint.engine import (
+    Suppression,
+    default_target,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    lint_source,
+    parse_suppressions,
+)
+from repro.lint.rules import (
+    LintRule,
+    ModuleInfo,
+    active_rules,
+    available_rules,
+    get_rule,
+    register_rule,
+    rule_catalog,
+    unregister_rule,
+)
+from repro.lint.sanitizer import (
+    CHAOS_HOOKS,
+    Divergence,
+    RecordedRun,
+    SanitizeReport,
+    WallClockLeakError,
+    first_divergence,
+    record_session,
+    sanitize_scenario,
+    sanitize_spec,
+    wall_clock_tripwire,
+)
+
+__all__ = [
+    "ENGINE_CODE",
+    "Diagnostic",
+    "count_by_code",
+    "diagnostics_payload",
+    "render_diagnostics",
+    "Suppression",
+    "default_target",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "parse_suppressions",
+    "LintRule",
+    "ModuleInfo",
+    "active_rules",
+    "available_rules",
+    "get_rule",
+    "register_rule",
+    "rule_catalog",
+    "unregister_rule",
+    "CHAOS_HOOKS",
+    "Divergence",
+    "RecordedRun",
+    "SanitizeReport",
+    "WallClockLeakError",
+    "first_divergence",
+    "record_session",
+    "sanitize_scenario",
+    "sanitize_spec",
+    "wall_clock_tripwire",
+]

@@ -1,0 +1,460 @@
+"""The built-in lint rules: the repo's determinism + zero-cost invariants.
+
+Each rule targets a bug class this repository has actually shipped (or is
+one refactor away from shipping):
+
+* RL001 — the PR 2 ``SeededRandom.fork`` bug: ``hash()`` on strings is
+  PYTHONHASHSEED-randomized, so hash-derived values silently vary per
+  process.
+* RL002 — wall-clock/ambient entropy in simulation paths breaks the
+  byte-identical-digests contract every result pin relies on.
+* RL003 — set iteration order follows the randomized string hash; anything
+  it feeds (scheduling, serialization, digests) varies run to run.
+* RL004 — the PR 5 zero-allocation tracing contract: emission sites must
+  null-guard on ``active`` or disarmed runs pay for observability.
+* RL005 — the only-when-armed serialization rule PRs 4–7 each re-derived:
+  a disarmed subsystem's field must be key-omitted, not ``None``/"off",
+  or every pre-subsystem digest pin breaks.
+* RL006 — hot-path classes without ``__slots__`` cost dict allocations in
+  the kernel loop the PR 2 rewrite paid to remove.
+* RL007 — technique/fault/scenario classes that do not self-register are
+  dead code every sweep silently skips.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.rules import LintRule, ModuleInfo, register_rule
+
+
+def _name_of(node: ast.AST) -> Optional[str]:
+    """The identifier a ``Name`` or dotted ``Attribute`` ends in."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+@register_rule
+class HashDerivedValues(LintRule):
+    """RL001: no ``hash()``/``id()``-derived values."""
+
+    code = "RL001"
+    name = "hash-derived-value"
+    invariant = ("no hash()/id()-derived values outside __hash__ "
+                 "implementations")
+    rationale = ("hash() on strings is PYTHONHASHSEED-randomized and id() is "
+                 "an address: both vary per process, so seeds/ids derived "
+                 "from them silently break run-to-run reproducibility (the "
+                 "PR 2 SeededRandom.fork bug). Use zlib.crc32 or explicit "
+                 "counters.")
+
+    def check(self, info: ModuleInfo) -> Iterator[Diagnostic]:
+        for node in info.walk(ast.Call):
+            func = node.func
+            if not (isinstance(func, ast.Name) and func.id in ("hash", "id")):
+                continue
+            enclosing = info.enclosing_function(node)
+            if enclosing is not None and enclosing.name == "__hash__":
+                # In-process dict/set hashing is what __hash__ is *for*; the
+                # hazard is persisting or seeding from the value.
+                continue
+            yield self.diagnostic(
+                info, node,
+                f"{func.id}() yields process-dependent values "
+                "(PYTHONHASHSEED / object addresses); derive stable values "
+                "via zlib.crc32(...) or an explicit counter",
+            )
+
+
+#: Wall-clock / entropy call sites banned outside the benchmark harness.
+_AMBIENT_ATTR_CALLS: Dict[str, Set[str]] = {
+    "time": {"time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+             "perf_counter_ns", "localtime", "gmtime", "strftime", "ctime"},
+    "os": {"urandom", "getrandom"},
+    "datetime": {"now", "utcnow", "today"},
+}
+#: Modules where *every* attribute call is ambient entropy.
+_AMBIENT_MODULES = ("uuid", "secrets")
+#: The one sanctioned use of the stdlib ``random`` module: constructing an
+#: explicitly seeded generator (``random.Random(seed)``), which is what
+#: :class:`repro.sim.rng.SeededRandom` and the topology generators do.
+_RANDOM_ALLOWED = {"Random"}
+
+
+@register_rule
+class AmbientEntropy(LintRule):
+    """RL002: no wall-clock or ambient entropy in simulation paths."""
+
+    code = "RL002"
+    name = "ambient-entropy"
+    invariant = ("no wall-clock/ambient entropy (time.*, datetime.now, "
+                 "random.*, os.urandom, uuid, secrets) in simulation paths")
+    rationale = ("results must be a pure function of the seed: stochastic "
+                 "behaviour routes through SeededRandom, time through "
+                 "Simulator.now. The bench harness measures wall time by "
+                 "design and is allowlisted.")
+    allowed_modules = ("bench/",)
+
+    def _flag(self, info: ModuleInfo, node: ast.AST,
+              what: str) -> Diagnostic:
+        return self.diagnostic(
+            info, node,
+            f"{what} is ambient (non-seeded) input; route randomness "
+            "through SeededRandom and time through Simulator.now",
+        )
+
+    def check(self, info: ModuleInfo) -> Iterator[Diagnostic]:
+        for node in info.walk(ast.Call):
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            owner = _name_of(func.value)
+            if owner is None:
+                continue
+            if owner == "random" and func.attr not in _RANDOM_ALLOWED:
+                yield self._flag(info, node, f"random.{func.attr}()")
+            elif owner in _AMBIENT_MODULES:
+                yield self._flag(info, node, f"{owner}.{func.attr}()")
+            elif func.attr in _AMBIENT_ATTR_CALLS.get(owner, ()):
+                yield self._flag(info, node, f"{owner}.{func.attr}()")
+        # Importing the banned callables unqualified would dodge the call
+        # check above, so flag the import itself.
+        for node in info.walk(ast.ImportFrom):
+            module = (node.module or "").split(".")[0]
+            banned: Set[str] = set()
+            if module in _AMBIENT_MODULES:
+                banned = {alias.name for alias in node.names}
+            elif module == "random":
+                banned = {alias.name for alias in node.names
+                          if alias.name not in _RANDOM_ALLOWED}
+            elif module in _AMBIENT_ATTR_CALLS:
+                banned = {alias.name for alias in node.names
+                          if alias.name in _AMBIENT_ATTR_CALLS[module]}
+            if banned:
+                names = ", ".join(sorted(banned))
+                yield self._flag(info, node, f"from {module} import {names}")
+
+
+_SET_METHODS = {"union", "intersection", "difference", "symmetric_difference"}
+_SET_BINOPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    """Whether ``node`` syntactically produces an (unordered) set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and node.func.id in ("set", "frozenset"):
+            return True
+        if (isinstance(node.func, ast.Attribute)
+                and node.func.attr in _SET_METHODS
+                and _is_set_expr(node.func.value)):
+            return True
+    if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_BINOPS):
+        return _is_set_expr(node.left) or _is_set_expr(node.right)
+    return False
+
+
+@register_rule
+class UnorderedIteration(LintRule):
+    """RL003: no iteration over bare sets without an explicit sort."""
+
+    code = "RL003"
+    name = "unordered-iteration"
+    invariant = ("iteration over set expressions must go through "
+                 "sorted(...) before feeding schedules, serializers or "
+                 "digests")
+    rationale = ("set iteration order follows the per-process randomized "
+                 "string hash, so loop bodies run — and emit events, build "
+                 "dicts, serialize keys — in a different order every "
+                 "process (the Match.intersection field-order hazard).")
+
+    def check(self, info: ModuleInfo) -> Iterator[Diagnostic]:
+        message = ("iterating a set is unordered across processes; wrap the "
+                   "expression in sorted(...)")
+        for node in info.walk(ast.For):
+            if _is_set_expr(node.iter):
+                yield self.diagnostic(info, node.iter, message)
+        for node in info.walk(ast.ListComp, ast.SetComp, ast.DictComp,
+                              ast.GeneratorExp):
+            for generator in node.generators:
+                if _is_set_expr(generator.iter):
+                    yield self.diagnostic(info, generator.iter, message)
+        for node in info.walk(ast.Call):
+            if (isinstance(node.func, ast.Name)
+                    and node.func.id in ("list", "tuple", "enumerate")
+                    and node.args and _is_set_expr(node.args[0])):
+                yield self.diagnostic(
+                    info, node.args[0],
+                    f"{node.func.id}() over a set captures an unordered "
+                    "snapshot; wrap the set in sorted(...)",
+                )
+
+
+#: The emission methods of the tracer protocol (``NullTracer``'s no-ops).
+_EMIT_METHODS = {"rule", "fault", "count", "gauge", "observe"}
+
+
+@register_rule
+class UnguardedTraceEmission(LintRule):
+    """RL004: trace emission must sit behind the ``if tr.active:`` guard."""
+
+    code = "RL004"
+    name = "unguarded-trace-emission"
+    invariant = ("trace-emission sites bind tr = TRACER and guard every "
+                 "emit call with `if tr.active:`")
+    rationale = ("the PR 5 zero-allocation contract: with the NullTracer "
+                 "installed an instrumentation site is one attribute load "
+                 "and one false branch. Unguarded emits build event/detail "
+                 "arguments on every disarmed run — cost (and potential "
+                 "behaviour skew) where there must be none.")
+    allowed_modules = ("obs/",)
+
+    @staticmethod
+    def _is_tracer_ref(node: ast.AST) -> bool:
+        return _name_of(node) == "TRACER"
+
+    def _bound_names(self, info: ModuleInfo) -> Dict[Tuple[ast.AST, str], bool]:
+        """``(scope, name) -> True`` for locals assigned from ``TRACER``."""
+        bindings: Dict[Tuple[ast.AST, str], bool] = {}
+        for node in info.walk(ast.Assign):
+            if not self._is_tracer_ref(node.value):
+                continue
+            scope = info.enclosing_function(node) or info.tree
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    bindings[(scope, target.id)] = True
+        return bindings
+
+    def _is_guarded(self, info: ModuleInfo, node: ast.AST, name: str) -> bool:
+        for ancestor in info.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return False
+            if not isinstance(ancestor, ast.If):
+                continue
+            for part in ast.walk(ancestor.test):
+                if (isinstance(part, ast.Attribute) and part.attr == "active"
+                        and isinstance(part.value, ast.Name)
+                        and part.value.id == name):
+                    return True
+        return False
+
+    def check(self, info: ModuleInfo) -> Iterator[Diagnostic]:
+        bindings = self._bound_names(info)
+        for node in info.walk(ast.Call):
+            func = node.func
+            if not (isinstance(func, ast.Attribute)
+                    and func.attr in _EMIT_METHODS):
+                continue
+            if self._is_tracer_ref(func.value):
+                yield self.diagnostic(
+                    info, node,
+                    f"emit directly on TRACER; bind `tr = TRACER` once and "
+                    f"guard `if tr.active: tr.{func.attr}(...)`",
+                )
+                continue
+            if not isinstance(func.value, ast.Name):
+                continue
+            name = func.value.id
+            scope = info.enclosing_function(node) or info.tree
+            if not bindings.get((scope, name)):
+                continue
+            if not self._is_guarded(info, node, name):
+                yield self.diagnostic(
+                    info, node,
+                    f"trace emission {name}.{func.attr}(...) is outside an "
+                    f"`if {name}.active:` guard (zero-allocation contract)",
+                )
+
+
+#: Function names treated as canonical serializers.
+_SERIALIZER_NAMES = {"as_dict", "to_dict", "config", "as_config",
+                     "serialize", "summary"}
+
+
+def _is_disabled_constant(node: ast.AST) -> bool:
+    """``None``, ``"off"``/``"none"``/``""`` or an empty container literal."""
+    if isinstance(node, ast.Constant):
+        if node.value is None:
+            return True
+        return (isinstance(node.value, str)
+                and node.value.lower() in ("off", "none", ""))
+    if isinstance(node, ast.Dict):
+        return not node.keys
+    if isinstance(node, (ast.List, ast.Tuple)):
+        return not node.elts
+    if (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+            and node.func.id in ("dict", "list", "tuple")
+            and not node.args and not node.keywords):
+        return True
+    return False
+
+
+@register_rule
+class AlwaysOnSerialization(LintRule):
+    """RL005: disarmed optional fields must be key-omitted, not serialized."""
+
+    code = "RL005"
+    name = "always-on-serialization"
+    invariant = ("serializers omit optional keys when the subsystem is "
+                 "disarmed instead of writing None/'off'/empty values")
+    rationale = ("digest stability across subsystem PRs depends on disarmed "
+                 "runs producing byte-identical payloads to code that "
+                 "predates the subsystem; a `...if armed else None` entry "
+                 "bakes the off-state into every digest (the rule PRs 4-7 "
+                 "each re-implemented by hand).")
+
+    def _flag_value(self, info: ModuleInfo,
+                    value: ast.AST) -> Iterator[Diagnostic]:
+        if not isinstance(value, ast.IfExp):
+            return
+        if (_is_disabled_constant(value.body)
+                or _is_disabled_constant(value.orelse)):
+            yield self.diagnostic(
+                info, value,
+                "optional field serialized in its disabled state; omit the "
+                "key when disarmed (`if armed: payload[key] = ...`) so "
+                "disarmed payloads match pre-subsystem digests",
+            )
+
+    def check(self, info: ModuleInfo) -> Iterator[Diagnostic]:
+        for func in info.walk(ast.FunctionDef):
+            if func.name not in _SERIALIZER_NAMES:
+                continue
+            for node in ast.walk(func):
+                if isinstance(node, ast.Dict):
+                    for value in node.values:
+                        if value is not None:
+                            yield from self._flag_value(info, value)
+                elif isinstance(node, ast.Assign):
+                    if any(isinstance(target, ast.Subscript)
+                           for target in node.targets):
+                        yield from self._flag_value(info, node.value)
+
+
+#: Hot-path modules (relative to the repro package root) where per-instance
+#: dicts are measurable: the kernel loop, packets, links, flow tables.
+_HOT_MODULES = ("sim/", "packet/", "net/link.py", "openflow/flowtable.py")
+#: Base-class names whose subclasses carry no instance dict worth slotting.
+_SLOTS_EXEMPT_BASES = {"Exception", "BaseException", "Protocol", "Enum",
+                       "IntEnum", "Flag", "IntFlag", "NamedTuple"}
+
+
+def _has_dataclass_decorator(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if _name_of(target) == "dataclass":
+            return True
+    return False
+
+
+def _declares_slots(node: ast.ClassDef) -> bool:
+    for statement in node.body:
+        if isinstance(statement, ast.Assign):
+            if any(isinstance(t, ast.Name) and t.id == "__slots__"
+                   for t in statement.targets):
+                return True
+        if (isinstance(statement, ast.AnnAssign)
+                and isinstance(statement.target, ast.Name)
+                and statement.target.id == "__slots__"):
+            return True
+    return False
+
+
+@register_rule
+class MissingSlots(LintRule):
+    """RL006: hot-path classes must declare ``__slots__``."""
+
+    code = "RL006"
+    name = "missing-slots"
+    invariant = ("classes in hot-path modules (sim/, packet/, net/link.py, "
+                 "openflow/flowtable.py) declare __slots__")
+    rationale = ("the kernel dispatches millions of events through these "
+                 "objects; a per-instance __dict__ costs allocation and "
+                 "cache misses the PR 2 fast-path rewrite paid to remove. "
+                 "Exceptions, Protocols, Enums and dataclasses are exempt.")
+
+    def check(self, info: ModuleInfo) -> Iterator[Diagnostic]:
+        if not info.in_module(*_HOT_MODULES):
+            return
+        for node in info.walk(ast.ClassDef):
+            if _declares_slots(node) or _has_dataclass_decorator(node):
+                continue
+            base_names = [_name_of(base) for base in node.bases]
+            if any(name in _SLOTS_EXEMPT_BASES for name in base_names if name):
+                continue
+            if any(name and (name.endswith("Error")
+                             or name.endswith("Exception")
+                             or name.endswith("Warning"))
+                   for name in base_names):
+                continue
+            yield self.diagnostic(
+                info, node,
+                f"class {node.name} lives in a hot-path module but declares "
+                "no __slots__ (per-instance dicts in the kernel loop)",
+            )
+
+
+#: Base-name patterns -> the registering decorators their subclasses need.
+_REGISTRABLE: Tuple[Tuple[Tuple[str, ...], str, Tuple[str, ...]], ...] = (
+    (("AckTechnique",), "Technique", ("register_technique_class",)),
+    (("FaultModel",), "Fault", ("register_fault",)),
+    (("Scenario",), "", ("register", "register_scenario")),
+    (("LintRule",), "", ("register_rule",)),
+)
+
+
+@register_rule
+class UnregisteredSubclass(LintRule):
+    """RL007: registrable subclasses must self-register via their decorator."""
+
+    code = "RL007"
+    name = "unregistered-subclass"
+    invariant = ("technique/fault/scenario/lint-rule subclasses carry their "
+                 "registering decorator")
+    rationale = ("the registries are the only path sessions, campaigns and "
+                 "the lint CLI discover implementations through; an "
+                 "undecorated subclass is dead code every sweep silently "
+                 "skips. Abstract intermediate bases live in the exempted "
+                 "base modules or carry a justified suppression.")
+    #: The modules that define the base classes / abstract layers themselves.
+    allowed_modules = ("core/techniques/base.py", "faults/base.py",
+                       "scenarios/base.py", "lint/rules.py")
+
+    @staticmethod
+    def _required_decorators(base_names: List[str]) -> Optional[Tuple[str, ...]]:
+        for exact, suffix, decorators in _REGISTRABLE:
+            for name in base_names:
+                if name in exact or (suffix and name.endswith(suffix)
+                                     and name not in ("RegisteredTechnique",
+                                                      "RegisteredFault")):
+                    return decorators
+        return None
+
+    def check(self, info: ModuleInfo) -> Iterator[Diagnostic]:
+        for node in info.walk(ast.ClassDef):
+            base_names = [name for name in (_name_of(b) for b in node.bases)
+                          if name]
+            required = self._required_decorators(base_names)
+            if required is None:
+                continue
+            decorators = set()
+            for decorator in node.decorator_list:
+                target = (decorator.func if isinstance(decorator, ast.Call)
+                          else decorator)
+                name = _name_of(target)
+                if name:
+                    decorators.add(name)
+            if decorators.intersection(required):
+                continue
+            expected = " / @".join(required)
+            yield self.diagnostic(
+                info, node,
+                f"class {node.name} subclasses {'/'.join(base_names)} but "
+                f"never self-registers; decorate it with @{expected}",
+            )

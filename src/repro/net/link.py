@@ -50,6 +50,26 @@ class PacketSink(Protocol):
 class Link:
     """A bidirectional point-to-point link."""
 
+    __slots__ = (
+        "sim",
+        "node_a",
+        "port_a",
+        "node_b",
+        "port_b",
+        "latency",
+        "bandwidth_bps",
+        "name",
+        "batching",
+        "packets_carried",
+        "bytes_carried",
+        "events_coalesced",
+        "_busy_until",
+        "_trains",
+        "_flush_scheduled",
+        "_receivers",
+        "_in_ports",
+    )
+
     def __init__(
         self,
         sim: Simulator,

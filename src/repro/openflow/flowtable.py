@@ -80,6 +80,15 @@ class FlowEntry:
 class FlowTable:
     """A single-table OpenFlow pipeline."""
 
+    __slots__ = (
+        "mode",
+        "capacity",
+        "name",
+        "_entries",
+        "_install_counter",
+        "_lookup_index",
+    )
+
     def __init__(
         self,
         mode: str = "priority",

@@ -239,7 +239,12 @@ class Match:
     def intersection(self, other: "Match") -> Optional["Match"]:
         """The match describing packets matched by both, or ``None`` if disjoint."""
         merged: Dict[HeaderField, Tuple[int, int]] = {}
-        for field in set(self._fields) | set(other._fields):
+        # Canonical field order: set-union iteration follows the randomized
+        # per-process string hash of the enum members, which would build
+        # ``merged`` (and the resulting match's field order) differently run
+        # to run.
+        for field in sorted(set(self._fields) | set(other._fields),
+                            key=lambda f: f.value):
             mine = self._fields.get(field)
             theirs = other._fields.get(field)
             if mine is None:

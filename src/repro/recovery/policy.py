@@ -119,8 +119,8 @@ class RecoveryPolicy:
                 "(expected 'off', 'on' or 'on(key=value,...)')"
             )
         overrides: Dict[str, object] = {}
-        for item in (matched.group("params") or "").split(","):
-            item = item.strip()
+        for raw_item in (matched.group("params") or "").split(","):
+            item = raw_item.strip()
             if not item:
                 continue
             if "=" not in item:

@@ -163,7 +163,7 @@ class SessionSpec:
             },
             "knobs": self._knobs_config(),
             # An empty plan normalises to None: both mean the fault-free path.
-            "faults": (self.faults.as_dict()
+            "faults": (self.faults.as_dict()  # repro: noqa(RL005): faults predates only-when-armed; dropping the None key would orphan every persisted campaign resume config
                        if self.faults is not None and not self.faults.empty()
                        else None),
         }

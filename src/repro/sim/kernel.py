@@ -24,6 +24,38 @@ from repro.sim.process import Process
 #: Upper bound on pooled Timeout objects kept for reuse.
 _TIMEOUT_POOL_LIMIT = 256
 
+#: Event-stream observer hook (the determinism sanitizer's recording tap).
+#: ``None`` — the default — costs the run loop one locally-bound ``is not
+#: None`` branch per event and nothing else, following the same
+#: zero-cost-when-disarmed contract as :data:`repro.obs.tracer.TRACER`.
+#: When installed, the observer is called as ``observer(time, callback,
+#: args)`` immediately before each dispatched callback.  Observers must only
+#: *read*: a recording pass over a run must leave its event sequence (and
+#: digests) byte-identical to an unobserved run.
+_OBSERVER: Optional[Callable[[float, Callable, tuple], None]] = None
+
+
+def install_observer(
+    observer: Callable[[float, Callable, tuple], None]
+) -> Callable[[float, Callable, tuple], None]:
+    """Make ``observer`` the process-wide event tap; returns it for chaining.
+
+    Mirrors :func:`repro.obs.tracer.install_tracer`: installs do not nest,
+    and callers must pair every install with :func:`uninstall_observer` in a
+    ``try/finally`` so a crashing run cannot leak the tap into the next one.
+    """
+    global _OBSERVER
+    if _OBSERVER is not None:
+        raise RuntimeError("an event observer is already installed; "
+                           "recorded runs cannot nest")
+    _OBSERVER = observer
+    return observer
+
+
+def uninstall_observer() -> None:
+    global _OBSERVER
+    _OBSERVER = None
+
 
 class StopSimulation(Exception):
     """Raised by user code to stop :meth:`Simulator.run` immediately."""
@@ -265,6 +297,8 @@ class Simulator:
             raise RuntimeError("simulation time went backwards (kernel bug)")
         self._now = max(self._now, time)
         self.steps_executed += 1
+        if _OBSERVER is not None:
+            _OBSERVER(time, callback, args)
         callback(*args)
         return True
 
@@ -283,6 +317,7 @@ class Simulator:
         """
         heap = self._heap
         pop = heapq.heappop
+        observer = _OBSERVER
         self._running = True
         self._until = until
         steps = 0
@@ -304,6 +339,8 @@ class Simulator:
                         raise RuntimeError(
                             "simulation time went backwards (kernel bug)"
                         )
+                    if observer is not None:
+                        observer(time, callback, args)
                     callback(*args)
                     steps += 1
                 # Heap drained before the stop time: idle out the tail.

@@ -22,6 +22,8 @@ class Queue:
     ``yield``; it completes with the next item as soon as one is available.
     """
 
+    __slots__ = ("sim", "name", "_items", "_getters")
+
     def __init__(self, sim: Simulator, name: str = "") -> None:
         self.sim = sim
         self.name = name
@@ -82,6 +84,8 @@ class Resource:
     Used for modelling limited parallelism, e.g. a switch control plane that
     processes one command at a time.
     """
+
+    __slots__ = ("sim", "name", "capacity", "_in_use", "_waiters")
 
     def __init__(self, sim: Simulator, capacity: int = 1, name: str = "") -> None:
         if capacity < 1:

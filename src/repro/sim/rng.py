@@ -19,6 +19,8 @@ T = TypeVar("T")
 class SeededRandom:
     """Thin wrapper around :class:`random.Random` with a few domain helpers."""
 
+    __slots__ = ("seed", "_random")
+
     def __init__(self, seed: int = 0) -> None:
         self.seed = seed
         self._random = random.Random(seed)

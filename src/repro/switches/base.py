@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import zlib
 from typing import Callable, Dict, List, Optional
 
 from repro.openflow.actions import Action, apply_actions
@@ -41,7 +42,13 @@ class Switch:
         self.sim = sim
         self.name = name
         self.profile = profile
-        self.datapath_id = datapath_id if datapath_id is not None else abs(hash(name)) % (1 << 32)
+        # Process-stable default: ``hash()`` on strings is randomized per
+        # interpreter (PYTHONHASHSEED), which made the derived datapath id —
+        # and the rng seed below — vary run to run for directly-constructed
+        # switches (the Network always passes both explicitly).
+        if datapath_id is None:
+            datapath_id = zlib.crc32(name.encode("utf-8")) % (1 << 32)
+        self.datapath_id = datapath_id
         self.rng = rng or SeededRandom(self.datapath_id & 0xFFFF)
 
         self.dataplane = DataPlane(

@@ -186,7 +186,7 @@ def test_generated_probe_matches_rule_and_escapes_higher_priority(probed_spec, t
 def test_version_allocation_never_duplicates_outstanding_values(space, operations):
     allocator = VersionAllocator(63, usable_values=list(range(1, space + 1)))
     outstanding = {}
-    for step in range(operations):
+    for _step in range(operations):
         try:
             batch, wire = allocator.allocate()
         except VersionSpaceExhausted:

@@ -1,0 +1,15 @@
+"""RL001 fixture: process-stable derivation plus the __hash__ exemption."""
+
+import zlib
+
+
+def derive_seed(name):
+    return zlib.crc32(name.encode("utf-8")) % (1 << 31)
+
+
+class Key:
+    def __init__(self, value):
+        self.value = value
+
+    def __hash__(self):
+        return hash(self.value)

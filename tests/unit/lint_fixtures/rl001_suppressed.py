@@ -1,0 +1,5 @@
+"""RL001 fixture: justified suppression on the flagged line."""
+
+
+def replay_capture_id(name):
+    return abs(hash(name)) % (1 << 31)  # repro: noqa(RL001): frozen wire capture replayed byte-for-byte within one process

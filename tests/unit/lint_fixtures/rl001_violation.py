@@ -1,0 +1,9 @@
+"""RL001 fixture: a hash()-derived seed (the PR 2 bug shape)."""
+
+
+def derive_seed(name):
+    return abs(hash(name)) % (1 << 31)
+
+
+def derive_slot(obj):
+    return id(obj) % 64

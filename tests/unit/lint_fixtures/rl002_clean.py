@@ -1,0 +1,11 @@
+"""RL002 fixture: seeded randomness and simulated time only."""
+
+import random
+
+
+def make_generator(seed):
+    return random.Random(seed)
+
+
+def stamp_event(event, sim):
+    event.when = sim.now

@@ -1,0 +1,11 @@
+"""RL002 fixture: wall-clock and ambient entropy in a simulation path."""
+
+import random
+import time
+from time import perf_counter
+
+
+def stamp_event(event):
+    event.wall = time.time()
+    event.token = random.randrange(1 << 16)
+    return perf_counter()

@@ -1,0 +1,12 @@
+"""RL003 fixture: the same traversals behind sorted(...)."""
+
+
+def union_fields(left, right):
+    out = []
+    for field in sorted(set(left) | set(right)):
+        out.append(field)
+    return out
+
+
+def snapshot(items):
+    return sorted({item.name for item in items})

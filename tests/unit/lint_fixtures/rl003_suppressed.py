@@ -1,0 +1,6 @@
+"""RL003 fixture: justified suppression on the flagged line."""
+
+
+def drain(pending):
+    for item in set(pending):  # repro: noqa(RL003): order-free teardown; every item is released independently and nothing records the order
+        item.release()

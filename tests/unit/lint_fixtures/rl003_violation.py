@@ -1,0 +1,12 @@
+"""RL003 fixture: unordered set iteration feeding an ordered output."""
+
+
+def union_fields(left, right):
+    out = []
+    for field in set(left) | set(right):
+        out.append(field)
+    return out
+
+
+def snapshot(items):
+    return list({item.name for item in items})

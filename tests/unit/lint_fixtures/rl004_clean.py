@@ -1,0 +1,11 @@
+"""RL004 fixture: the canonical bind-then-guard emission idiom."""
+
+from repro.obs import tracer as obs_tracer
+
+TRACER = obs_tracer.TRACER
+
+
+def on_rule_installed(switch, xid):
+    tr = TRACER
+    if tr.active:
+        tr.rule(switch.name, xid, "installed")

@@ -1,0 +1,10 @@
+"""RL004 fixture: justified suppression on the flagged line."""
+
+from repro.obs import tracer as obs_tracer
+
+TRACER = obs_tracer.TRACER
+
+
+def emit_campaign_banner(label):
+    tr = TRACER
+    tr.count("campaign_started", 1)  # repro: noqa(RL004): one-shot campaign banner, runs once per process outside the kernel loop

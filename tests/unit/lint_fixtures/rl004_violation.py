@@ -1,0 +1,14 @@
+"""RL004 fixture: trace emissions outside the active guard."""
+
+from repro.obs import tracer as obs_tracer
+
+TRACER = obs_tracer.TRACER
+
+
+def on_rule_installed(switch, xid):
+    tr = TRACER
+    tr.rule(switch.name, xid, "installed")
+
+
+def on_fault(detail):
+    TRACER.fault("link", detail)

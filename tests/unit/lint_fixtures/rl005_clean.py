@@ -1,0 +1,15 @@
+"""RL005 fixture: only-when-armed serialization (keys omitted)."""
+
+
+class Config:
+    def __init__(self, trace, faults):
+        self.trace = trace
+        self.faults = faults
+
+    def as_dict(self):
+        payload = {"kind": "session"}
+        if self.trace:
+            payload["trace"] = True
+        if self.faults:
+            payload["faults"] = self.faults.as_dict()
+        return payload

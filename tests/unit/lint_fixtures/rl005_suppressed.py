@@ -1,0 +1,11 @@
+"""RL005 fixture: justified suppression on the flagged line."""
+
+
+class Config:
+    def __init__(self, faults):
+        self.faults = faults
+
+    def as_dict(self):
+        return {
+            "faults": self.faults.as_dict() if self.faults else None,  # repro: noqa(RL005): key predates only-when-armed; removing it would orphan persisted configs
+        }

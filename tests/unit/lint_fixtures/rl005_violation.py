@@ -1,0 +1,15 @@
+"""RL005 fixture: disarmed optional fields baked into the payload."""
+
+
+class Config:
+    def __init__(self, trace, faults):
+        self.trace = trace
+        self.faults = faults
+
+    def as_dict(self):
+        payload = {
+            "kind": "session",
+            "trace": True if self.trace else None,
+        }
+        payload["faults"] = self.faults.as_dict() if self.faults else None
+        return payload

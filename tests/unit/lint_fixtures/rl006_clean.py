@@ -1,0 +1,19 @@
+"""RL006 fixture: slotted, dataclass and exception classes (under sim/)."""
+
+from dataclasses import dataclass
+
+
+class Token:
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+
+@dataclass
+class Snapshot:
+    when: float
+
+
+class KernelError(Exception):
+    pass

@@ -1,0 +1,6 @@
+"""RL006 fixture: justified suppression on the flagged line (under sim/)."""
+
+
+class DebugProbe:  # repro: noqa(RL006): debug-only aid, constructed a handful of times outside the dispatch loop
+    def __init__(self, label):
+        self.label = label

@@ -1,0 +1,6 @@
+"""RL006 fixture: a hot-path class without __slots__ (lint under sim/)."""
+
+
+class Token:
+    def __init__(self, value):
+        self.value = value

@@ -1,0 +1,16 @@
+"""RL007 fixture: the same subclasses, properly self-registered."""
+
+from repro.core.techniques.base import AckTechnique
+from repro.core.techniques.registry import register_technique_class
+from repro.faults.base import FaultModel
+from repro.faults.registry import register_fault
+
+
+@register_technique_class
+class SilentTechnique(AckTechnique):
+    name = "silent"
+
+
+@register_fault
+class SilentFault(FaultModel):
+    name = "silent-fault"

@@ -1,0 +1,7 @@
+"""RL007 fixture: justified suppression on the flagged line."""
+
+from repro.faults.base import FaultModel
+
+
+class ScenarioLocalFault(FaultModel):  # repro: noqa(RL007): scenario-local fault instantiated directly; registry exposure would invite misuse in fault plans
+    name = "scenario-local"

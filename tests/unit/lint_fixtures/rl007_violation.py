@@ -1,0 +1,12 @@
+"""RL007 fixture: registrable subclasses without their decorators."""
+
+from repro.core.techniques.base import AckTechnique
+from repro.faults.base import FaultModel
+
+
+class SilentTechnique(AckTechnique):
+    name = "silent"
+
+
+class SilentFault(FaultModel):
+    name = "silent-fault"
