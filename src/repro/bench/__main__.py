@@ -6,6 +6,8 @@ Examples::
     python -m repro.bench --quick         # CI smoke scale
     python -m repro.bench --update-baseline
     python -m repro.bench --only kernel-steps --only flowtable-lookup
+    python -m repro.bench --history       # perf trajectory over committed
+                                          # BENCH_*.json snapshots (no run)
 """
 
 from __future__ import annotations
@@ -24,6 +26,12 @@ from repro.bench.compare import (
     load_baseline,
 )
 from repro.bench.harness import run_suite
+from repro.bench.history import (
+    DEFAULT_GATE_DROP,
+    gate_history,
+    load_history,
+    render_history,
+)
 from repro.bench.suite import BENCHMARKS, benchmark_names
 
 #: The committed baseline every run is compared against.
@@ -77,7 +85,26 @@ def main(argv=None) -> int:
                              "of failing on regressions")
     parser.add_argument("--list", action="store_true",
                         help="list benchmarks and exit")
+    parser.add_argument("--history", action="store_true",
+                        help="skip running the suite; render the perf "
+                             "trajectory over every committed BENCH_*.json "
+                             "snapshot (geomean trend, per-workload "
+                             "attribution) and gate unexplained drops")
+    parser.add_argument("--history-dir", type=Path, default=None,
+                        help="snapshot directory for --history "
+                             "(default: the baseline file's directory)")
+    parser.add_argument("--gate-drop", type=float, default=DEFAULT_GATE_DROP,
+                        help="--history gate: fail on a geomean drop beyond "
+                             "this fraction between consecutive same-scale "
+                             "snapshots with no 'notes' explanation "
+                             "(default: 0.15)")
     args = parser.parse_args(argv)
+
+    if args.history:
+        directory = args.history_dir or args.baseline.parent
+        history = load_history(directory)
+        print(render_history(history, max_drop=args.gate_drop))
+        return 1 if gate_history(history, max_drop=args.gate_drop) else 0
 
     if args.list:
         for spec in BENCHMARKS:

@@ -1,0 +1,286 @@
+"""Perf-trajectory analytics over committed benchmark snapshots.
+
+``python -m repro.bench --history`` reads every ``benchmarks/BENCH_*.json``
+snapshot plus ``BASELINE.json`` and renders the *trajectory*: the
+normalized-geomean speedup of each committed revision against the baseline,
+with per-workload attribution of every move (which benchmark moved, by how
+much, at which rev).  A single-run comparison answers "did I regress
+against the baseline"; the history answers "when did ``kernel-steps`` get
+2x faster, and what did the rev that slowed ``flowtable-lookup`` buy us".
+
+All arithmetic uses the same normalized-cost convention as
+:mod:`repro.bench.compare` (workload wall divided by the reference
+calibration loop's wall on the same machine), so snapshots committed from
+different machines stay comparable.  Snapshots are chained *per scale*
+(quick snapshots never compare against full ones) and sorted by their
+recorded timestamp.
+
+The CI gate (:func:`gate_history`) fails on an *unexplained* geomean drop:
+a snapshot slower than its same-scale predecessor beyond the threshold and
+carrying no top-level ``"notes"`` key explaining why the slowdown was
+accepted.  Annotating the snapshot is the escape hatch — silent
+regressions are the bug class this gate exists for.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: A workload whose speedup-vs-baseline ratio changes by more than this
+#: fraction between consecutive snapshots is named as a mover.
+MOVER_THRESHOLD = 0.05
+
+#: Default CI gate: fail when a snapshot's geomean is more than this
+#: fraction slower than its same-scale predecessor with no explanation.
+DEFAULT_GATE_DROP = 0.15
+
+
+def _geomean(values: Sequence[float]) -> Optional[float]:
+    ratios = [value for value in values if value > 0]
+    if not ratios:
+        return None
+    return math.exp(sum(math.log(ratio) for ratio in ratios) / len(ratios))
+
+
+def _cost(entry: Dict[str, object]) -> Optional[float]:
+    """Normalized cost of one result entry, raw wall as the fallback."""
+    for key in ("normalized", "wall_s"):
+        value = entry.get(key)
+        if value is not None and float(value) > 0:
+            return float(value)
+    return None
+
+
+def _speedups(entries: Sequence[Dict[str, object]],
+              baseline_entries: Sequence[Dict[str, object]]) -> Dict[str, float]:
+    """Per-workload ``baseline / current`` ratios (> 1 means faster)."""
+    baseline_by_name = {str(entry.get("name")): entry
+                        for entry in baseline_entries}
+    speedups: Dict[str, float] = {}
+    for entry in entries:
+        reference = baseline_by_name.get(str(entry.get("name")))
+        if reference is None:
+            continue
+        current_cost = _cost(entry)
+        baseline_cost = _cost(reference)
+        if current_cost is None or baseline_cost is None:
+            continue
+        speedups[str(entry.get("name"))] = baseline_cost / current_cost
+    return speedups
+
+
+@dataclass
+class Snapshot:
+    """One committed ``BENCH_<rev>.json`` with its baseline-relative view."""
+
+    path: Path
+    revision: str
+    timestamp: str
+    scale: str
+    #: Per-workload speedup vs the same-scale baseline.
+    speedups: Dict[str, float] = field(default_factory=dict)
+    #: Optional human explanation committed with the snapshot; its presence
+    #: waives the gate for this snapshot's drop.
+    notes: Optional[str] = None
+
+    @property
+    def geomean(self) -> Optional[float]:
+        return _geomean(list(self.speedups.values()))
+
+
+@dataclass
+class Mover:
+    """One workload's move between two consecutive snapshots."""
+
+    name: str
+    previous: float
+    current: float
+
+    @property
+    def change(self) -> float:
+        """Fractional ratio change; negative means the workload slowed."""
+        return self.current / self.previous - 1.0
+
+    def describe(self) -> str:
+        return (f"{self.name} {self.previous:.2f}x -> {self.current:.2f}x "
+                f"({self.change:+.0%})")
+
+
+def movers(previous: Snapshot, current: Snapshot,
+           threshold: float = MOVER_THRESHOLD) -> List[Mover]:
+    """Workloads whose baseline-relative ratio moved between two snapshots,
+    largest absolute move first."""
+    moved: List[Mover] = []
+    for name in sorted(set(previous.speedups) & set(current.speedups)):
+        mover = Mover(name, previous.speedups[name], current.speedups[name])
+        if abs(mover.change) > threshold:
+            moved.append(mover)
+    moved.sort(key=lambda mover: (-abs(mover.change), mover.name))
+    return moved
+
+
+@dataclass
+class BenchHistory:
+    """Everything under one ``benchmarks/`` directory, ready to analyse."""
+
+    directory: Path
+    #: Baseline result entries, per scale.
+    baseline: Dict[str, List[Dict[str, object]]] = field(default_factory=dict)
+    baseline_revision: str = "?"
+    #: Snapshots in timestamp order (all scales interleaved).
+    snapshots: List[Snapshot] = field(default_factory=list)
+
+    def chain(self, scale: str) -> List[Snapshot]:
+        """The timestamp-ordered snapshots of one scale."""
+        return [snap for snap in self.snapshots if snap.scale == scale]
+
+    def predecessor(self, snapshot: Snapshot) -> Optional[Snapshot]:
+        """The previous same-scale snapshot, or ``None`` for the first."""
+        chain = self.chain(snapshot.scale)
+        index = chain.index(snapshot)
+        return chain[index - 1] if index > 0 else None
+
+
+def load_history(directory: Path) -> BenchHistory:
+    """Parse ``BASELINE.json`` and every ``BENCH_*.json`` under ``directory``."""
+    directory = Path(directory)
+    history = BenchHistory(directory=directory)
+
+    baseline_path = directory / "BASELINE.json"
+    if baseline_path.exists():
+        payload = json.loads(baseline_path.read_text(encoding="utf-8"))
+        for scale, report in payload.items():
+            history.baseline[scale] = list(report.get("results", []))
+            history.baseline_revision = str(report.get("revision", "?"))
+
+    for path in sorted(directory.glob("BENCH_*.json")):
+        report = json.loads(path.read_text(encoding="utf-8"))
+        scale = str(report.get("scale", "full"))
+        snapshot = Snapshot(
+            path=path,
+            revision=str(report.get("revision", path.stem[6:])),
+            timestamp=str(report.get("timestamp", "")),
+            scale=scale,
+            speedups=_speedups(report.get("results", []),
+                               history.baseline.get(scale, [])),
+            notes=report.get("notes"),
+        )
+        history.snapshots.append(snapshot)
+    history.snapshots.sort(key=lambda snap: (snap.timestamp, snap.revision))
+    return history
+
+
+@dataclass
+class GateFailure:
+    """One snapshot that dropped beyond the gate with no explanation."""
+
+    snapshot: Snapshot
+    previous: Snapshot
+    drop: float
+
+    def describe(self) -> str:
+        culprits = movers(self.previous, self.snapshot)
+        blame = ("; movers: " + ", ".join(m.describe() for m in culprits[:3])
+                 if culprits else "")
+        return (f"{self.snapshot.revision} [{self.snapshot.scale}]: geomean "
+                f"{self.previous.geomean:.2f}x -> {self.snapshot.geomean:.2f}x "
+                f"({-self.drop:.0%}) with no 'notes' explanation{blame}")
+
+
+def gate_history(history: BenchHistory,
+                 max_drop: float = DEFAULT_GATE_DROP) -> List[GateFailure]:
+    """Unexplained geomean drops along each same-scale snapshot chain.
+
+    A drop is *explained* — and waived — when the slower snapshot carries a
+    top-level ``"notes"`` string saying why it was accepted.
+    """
+    failures: List[GateFailure] = []
+    for snapshot in history.snapshots:
+        previous = history.predecessor(snapshot)
+        if previous is None or snapshot.notes:
+            continue
+        before, after = previous.geomean, snapshot.geomean
+        if before is None or after is None or before <= 0:
+            continue
+        drop = 1.0 - after / before
+        if drop > max_drop:
+            failures.append(GateFailure(snapshot=snapshot, previous=previous,
+                                        drop=drop))
+    return failures
+
+
+def _trend_rows(history: BenchHistory) -> List[Tuple[Snapshot, str, str]]:
+    """(snapshot, delta-vs-predecessor, top-mover) triples in render order."""
+    rows: List[Tuple[Snapshot, str, str]] = []
+    for snapshot in history.snapshots:
+        previous = history.predecessor(snapshot)
+        delta = "-"
+        top = "-"
+        if previous is not None and previous.geomean and snapshot.geomean:
+            delta = f"{snapshot.geomean / previous.geomean - 1.0:+.1%}"
+            culprits = movers(previous, snapshot)
+            if culprits:
+                top = culprits[0].describe()
+        rows.append((snapshot, delta, top))
+    return rows
+
+
+def render_history(history: BenchHistory,
+                   max_drop: float = DEFAULT_GATE_DROP) -> str:
+    """The perf trajectory: geomean trend table plus per-rev attribution."""
+    from repro.analysis.report import format_table
+
+    if not history.snapshots:
+        return (f"(no BENCH_*.json snapshots under {history.directory}; "
+                "run python -m repro.bench to create one)")
+    if not history.baseline:
+        return (f"(no BASELINE.json under {history.directory}; the history "
+                "needs the baseline as its common denominator)")
+
+    rows: List[List[object]] = []
+    for snapshot, delta, top in _trend_rows(history):
+        geomean = snapshot.geomean
+        rows.append([
+            snapshot.revision,
+            snapshot.timestamp[:10] or "?",
+            snapshot.scale,
+            f"{geomean:.2f}x" if geomean is not None else "-",
+            delta,
+            top,
+        ])
+    sections = [format_table(
+        ["rev", "date", "scale", "geomean", "vs prev", "top mover"],
+        rows,
+        title=(f"Perf trajectory — {len(history.snapshots)} snapshots vs "
+               f"baseline {history.baseline_revision} "
+               f"({history.directory})"),
+    )]
+
+    attribution: List[str] = []
+    for snapshot in history.snapshots:
+        previous = history.predecessor(snapshot)
+        if previous is None:
+            continue
+        culprits = movers(previous, snapshot)
+        if culprits:
+            attribution.append(f"{previous.revision} -> {snapshot.revision} "
+                               f"[{snapshot.scale}]:")
+            attribution.extend(f"  {mover.describe()}" for mover in culprits)
+    if attribution:
+        sections.append("Workload attribution (moves > "
+                        f"{MOVER_THRESHOLD:.0%} between consecutive "
+                        "same-scale snapshots):\n" + "\n".join(attribution))
+
+    failures = gate_history(history, max_drop=max_drop)
+    if failures:
+        sections.append("GATE FAILURES (unexplained geomean drop > "
+                        f"{max_drop:.0%}):\n"
+                        + "\n".join(f"  {f.describe()}" for f in failures))
+    else:
+        sections.append(f"gate: ok (no unexplained geomean drop > "
+                        f"{max_drop:.0%} along any same-scale chain)")
+    return "\n\n".join(sections)

@@ -6,6 +6,11 @@ Subcommands::
     run [axes...]              expand a grid, run pending cells in parallel
     report [--out FILE]        aggregate a results file into a summary table
 
+plus the live fleet monitor — usable *while* a campaign runs, since it only
+reads the per-worker heartbeat shards::
+
+    python -m repro.campaign --status results/
+
 Fault sweeps add a ``--faults`` axis of fault-plan strings (quote them, the
 shell dislikes parentheses)::
 
@@ -83,7 +88,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="debug-level progress output")
     parser.add_argument("-q", "--quiet", action="store_true",
                         help="warnings and errors only")
-    commands = parser.add_subparsers(dest="command", required=True)
+    parser.add_argument("--status", type=Path, default=None, metavar="DIR",
+                        help="render live fleet health from a campaign's "
+                             "heartbeat shards (pass the results directory, "
+                             "the results file, or the heartbeats directory) "
+                             "and exit; safe while the campaign is running")
+    commands = parser.add_subparsers(dest="command", required=False)
 
     commands.add_parser("list", help="list scenarios and topology families")
 
@@ -125,6 +135,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--trace-dir", type=Path, default=None,
                      help="directory for per-cell trace shards (default: "
                           "'traces' next to the results file)")
+    run.add_argument("--heartbeat-dir", type=Path, default=None,
+                     help="directory for per-worker heartbeat shards read "
+                          "by --status (default: 'heartbeats' next to the "
+                          "results file)")
     run.add_argument("--out", type=Path, default=Path(DEFAULT_RESULTS),
                      help="JSON-lines results file (appended; enables resume)")
     run.add_argument("--fresh", action="store_true",
@@ -180,7 +194,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         args.out.unlink()
     runner = CampaignRunner(spec, args.out, max_workers=args.workers,
                             chunk_size=args.chunk_size,
-                            trace_dir=args.trace_dir)
+                            trace_dir=args.trace_dir,
+                            heartbeat_dir=args.heartbeat_dir)
     cells = spec.cells()
     logger.info(
         "campaign: %d cells (%d scenarios x %d techniques x %d faults "
@@ -191,6 +206,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     )
     if spec.trace and runner.trace_dir is not None:
         logger.info("tracing armed: shards -> %s", runner.trace_dir)
+    logger.info("heartbeats -> %s (watch live: python -m repro.campaign "
+                "--status %s)", runner.heartbeat_dir, args.out)
     outcome = runner.run()
     logger.info("done: ran %d, skipped %d (already complete), failed %d",
                 outcome.ran, outcome.skipped, outcome.failed)
@@ -205,10 +222,23 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_status(args: argparse.Namespace) -> int:
+    from repro.campaign.status import render_status
+
+    print(render_status(args.status))
+    return 0
+
+
 def main(argv=None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
     setup_logging(verbose=args.verbose, quiet=args.quiet)
     try:
+        if args.status is not None:
+            return cmd_status(args)
+        if args.command is None:
+            parser.error("a subcommand (list/run/report) or --status is "
+                         "required")
         if args.command == "list":
             return cmd_list()
         if args.command == "run":

@@ -181,6 +181,68 @@ ACTIVATION_GAP_HEADERS = [
 ]
 
 
+def has_health_telemetry(records: List[Dict[str, object]]) -> bool:
+    """Whether any record carries per-cell runtime telemetry (``wall_s``)."""
+    return any(record.get("wall_s") is not None for record in records)
+
+
+#: Headers of the run-health table.
+RUN_HEALTH_HEADERS = [
+    "worker pid", "cells", "ok", "incomplete", "error",
+    "wall [s]", "mean wall [s]", "peak rss [MB]",
+]
+
+
+def run_health(records: List[Dict[str, object]]) -> List[List[object]]:
+    """Per-worker runtime rows over every record carrying telemetry.
+
+    Groups by the pid each record ran under, so an unbalanced fleet (one
+    worker eating all the slow cells, one worker ballooning in RSS) shows
+    up directly in the report — the after-the-fact complement of the live
+    ``--status`` monitor.
+    """
+    groups: Dict[int, List[Dict[str, object]]] = defaultdict(list)
+    for record in records:
+        if record.get("wall_s") is None:
+            continue
+        groups[int(record.get("worker_pid", 0))].append(record)
+
+    rows: List[List[object]] = []
+    for pid, group in sorted(groups.items()):
+        walls = [float(r["wall_s"]) for r in group]
+        statuses = [str(r.get("status")) for r in group]
+        rss = max(int(r.get("peak_rss_kb", 0)) for r in group)
+        rows.append([
+            pid or "?",
+            len(group),
+            statuses.count("ok"),
+            statuses.count("incomplete"),
+            len(group) - statuses.count("ok") - statuses.count("incomplete"),
+            f"{sum(walls):.1f}",
+            f"{sum(walls) / len(walls):.2f}",
+            f"{rss / 1024.0:.0f}" if rss else "-",
+        ])
+    return rows
+
+
+def slowest_cells(records: List[Dict[str, object]],
+                  top: int = 5) -> List[List[object]]:
+    """The ``top`` slowest cells by recorded wall seconds, descending."""
+    timed = [record for record in records if record.get("wall_s") is not None]
+    timed.sort(key=lambda r: (-float(r["wall_s"]), str(r.get("cell_id"))))
+    rows: List[List[object]] = []
+    for record in timed[:max(0, top)]:
+        config = record.get("config") or {}
+        rows.append([
+            config.get("scenario", "?"),
+            config.get("technique", "?"),
+            config.get("seed", "?"),
+            record.get("status", "?"),
+            f"{float(record['wall_s']):.2f}",
+        ])
+    return rows
+
+
 def failures(records: List[Dict[str, object]]) -> List[List[object]]:
     """One row per non-ok record."""
     rows = []
@@ -223,6 +285,17 @@ def render_report(results_path: Path) -> str:
             activation_gaps(records),
             title="Activation gaps — ack vs hardware activation "
                   "(traced cells; negative = unsafe early ack)",
+        ))
+    if has_health_telemetry(records):
+        sections.append(format_table(
+            RUN_HEALTH_HEADERS,
+            run_health(records),
+            title="Run health — per-worker runtime (RSS ratchets per worker)",
+        ))
+        sections.append(format_table(
+            ["scenario", "technique", "seed", "status", "wall [s]"],
+            slowest_cells(records),
+            title="Slowest cells",
         ))
     failed = failures(records)
     if failed:

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Set
 
+from repro.campaign import heartbeat
 from repro.campaign.grid import CampaignCell, CampaignSpec
 from repro.scenarios.engine import run_scenario
 
@@ -43,12 +44,18 @@ def run_cell(cell: CampaignCell,
 
     Never raises: failures come back as ``status: "error"`` records so one
     broken cell cannot take down the campaign (and is retried on resume).
+
+    Every record also carries its telemetry: ``wall_s`` (seconds this cell
+    took in its worker) and ``peak_rss_kb`` (the worker process's peak RSS
+    so far — ``ru_maxrss`` is a high-water mark, so this ratchets upward
+    across a worker's cells rather than resetting per cell).
     """
     record: Dict[str, object] = {
         "cell_id": cell.cell_id,
         "config": cell.config(),
         "worker_pid": os.getpid(),
     }
+    started = heartbeat.wall_clock()
     try:
         result = run_scenario(cell.scenario, cell.technique,
                               cell.scenario_params())
@@ -70,11 +77,16 @@ def run_cell(cell: CampaignCell,
         record["status"] = "error"
         record["error"] = f"{type(error).__name__}: {error}"
         record["traceback"] = traceback.format_exc()
+    record["wall_s"] = round(heartbeat.wall_clock() - started, 3)
+    record["peak_rss_kb"] = heartbeat.peak_rss_kb()
     return record
 
 
-def run_cells_chunk(cells: List[CampaignCell],
-                    trace_dir: Optional[Path] = None) -> List[Dict[str, object]]:
+def run_cells_chunk(
+    cells: List[CampaignCell],
+    trace_dir: Optional[Path] = None,
+    heartbeat_dir: Optional[Path] = None,
+) -> List[Dict[str, object]]:
     """Run a chunk of grid cells in one worker task.
 
     Chunking amortises the executor's per-task pickling/IPC overhead over
@@ -82,8 +94,22 @@ def run_cells_chunk(cells: List[CampaignCell],
     (:func:`repro.scenarios.generators.build_topology_cached`) pay off
     within a single task.  Cell isolation is unchanged: each cell still
     produces its own record, errors included.
+
+    With ``heartbeat_dir`` set, the worker appends cell-start/cell-done
+    beats to its own shard there (see :mod:`repro.campaign.heartbeat`), so
+    ``python -m repro.campaign --status`` can watch the fleet mid-run.
     """
-    return [run_cell(cell, trace_dir=trace_dir) for cell in cells]
+    beats = heartbeat.writer_for(heartbeat_dir)
+    records: List[Dict[str, object]] = []
+    for cell in cells:
+        if beats is not None:
+            beats.cell_started(cell.cell_id, cell.describe())
+        record = run_cell(cell, trace_dir=trace_dir)
+        if beats is not None:
+            beats.cell_finished(cell.cell_id, str(record.get("status")),
+                                float(record.get("wall_s", 0.0)))
+        records.append(record)
+    return records
 
 
 def load_records(results_path: Path) -> List[Dict[str, object]]:
@@ -176,6 +202,7 @@ class CampaignRunner:
         max_workers: Optional[int] = None,
         chunk_size: Optional[int] = None,
         trace_dir: Optional[Path] = None,
+        heartbeat_dir: Optional[Path] = None,
     ) -> None:
         self.spec = spec
         self.results_path = Path(results_path)
@@ -188,6 +215,10 @@ class CampaignRunner:
         self.trace_dir = Path(trace_dir) if trace_dir is not None else None
         if self.trace_dir is None and spec.trace:
             self.trace_dir = self.results_path.parent / "traces"
+        #: Where workers append their heartbeat shards; ``--status`` reads
+        #: this directory live.  Defaults next to the results file.
+        self.heartbeat_dir = (Path(heartbeat_dir) if heartbeat_dir is not None
+                              else self.results_path.parent / "heartbeats")
 
     def pending_cells(self) -> List[CampaignCell]:
         """Grid cells without a successful record yet."""
@@ -225,16 +256,25 @@ class CampaignRunner:
             say(f"resuming: {skipped}/{len(cells)} cells already done")
         ran = failed = 0
         records: List[Dict[str, object]] = []
+        started = heartbeat.wall_clock()
         if pending:
             self.results_path.parent.mkdir(parents=True, exist_ok=True)
             _terminate_partial_line(self.results_path)
+            heartbeat.write_manifest(
+                self.heartbeat_dir,
+                total_cells=len(cells),
+                pending=len(pending),
+                workers=self.max_workers,
+                results=str(self.results_path),
+            )
             chunk_size = self._chunk_size_for(len(pending))
             chunks = [pending[index:index + chunk_size]
                       for index in range(0, len(pending), chunk_size)]
             with self.results_path.open("a", encoding="utf-8") as sink, \
                     ProcessPoolExecutor(max_workers=self.max_workers) as pool:
                 futures = {pool.submit(run_cells_chunk, chunk,
-                                       self.trace_dir): chunk
+                                       self.trace_dir,
+                                       self.heartbeat_dir): chunk
                            for chunk in chunks}
                 remaining = set(futures)
                 while remaining:
@@ -264,8 +304,16 @@ class CampaignRunner:
                             # provoke on purpose), not a campaign failure.
                             if record.get("status") not in FINAL_STATUSES:
                                 failed += 1
+                            elapsed = heartbeat.wall_clock() - started
+                            eta = elapsed / ran * (len(pending) - ran)
                             say(f"[{ran}/{len(pending)}] {cell.describe()} "
-                                f"-> {record.get('status')}")
+                                f"-> {record.get('status')} "
+                                f"| elapsed {elapsed:,.0f}s eta {eta:,.0f}s")
+                            logger.debug(
+                                "cell %s: wall_s=%s peak_rss_kb=%s outcome=%s",
+                                cell.cell_id, record.get("wall_s"),
+                                record.get("peak_rss_kb"),
+                                record.get("status"))
                         sink.flush()
         return CampaignOutcome(
             total_cells=len(cells),

@@ -19,6 +19,9 @@ one refactor away from shipping):
   the kernel loop the PR 2 rewrite paid to remove.
 * RL007 — technique/fault/scenario classes that do not self-register are
   dead code every sweep silently skips.
+* RL008 — the PR 9 profiler rides the RL004 null-object contract: phase /
+  sample emission must hide behind ``if pr.active:`` or every unprofiled
+  run pays on the hot path the profiler exists to measure.
 """
 
 from __future__ import annotations
@@ -96,9 +99,13 @@ class AmbientEntropy(LintRule):
                  "random.*, os.urandom, uuid, secrets) in simulation paths")
     rationale = ("results must be a pure function of the seed: stochastic "
                  "behaviour routes through SeededRandom, time through "
-                 "Simulator.now. The bench harness measures wall time by "
-                 "design and is allowlisted.")
-    allowed_modules = ("bench/",)
+                 "Simulator.now. The modules that measure wall time by "
+                 "design are allowlisted: the bench harness, the "
+                 "sim-profiler (attribution only — nothing it reads feeds "
+                 "back into simulation state) and the campaign heartbeat "
+                 "writer every other campaign module routes clock reads "
+                 "through.")
+    allowed_modules = ("bench/", "obs/profiler.py", "campaign/heartbeat.py")
 
     def _flag(self, info: ModuleInfo, node: ast.AST,
               what: str) -> Diagnostic:
@@ -202,7 +209,12 @@ _EMIT_METHODS = {"rule", "fault", "count", "gauge", "observe"}
 
 @register_rule
 class UnguardedTraceEmission(LintRule):
-    """RL004: trace emission must sit behind the ``if tr.active:`` guard."""
+    """RL004: trace emission must sit behind the ``if tr.active:`` guard.
+
+    The matching machinery is parameterized through the ``_emit_*`` class
+    attributes so RL008 can apply the identical null-object contract to the
+    profiler protocol by subclassing.
+    """
 
     code = "RL004"
     name = "unguarded-trace-emission"
@@ -215,15 +227,24 @@ class UnguardedTraceEmission(LintRule):
                  "behaviour skew) where there must be none.")
     allowed_modules = ("obs/",)
 
-    @staticmethod
-    def _is_tracer_ref(node: ast.AST) -> bool:
-        return _name_of(node) == "TRACER"
+    #: The emission methods of the guarded protocol.
+    _emit_methods = _EMIT_METHODS
+    #: The module-level null-object global emission must not touch directly.
+    _emit_global = "TRACER"
+    #: The conventional local binding shown in the fix hint.
+    _emit_bind = "tr"
+    #: How the out-of-guard diagnostic names an emission.
+    _emit_noun = "trace emission"
+
+    @classmethod
+    def _is_emitter_ref(cls, node: ast.AST) -> bool:
+        return _name_of(node) == cls._emit_global
 
     def _bound_names(self, info: ModuleInfo) -> Dict[Tuple[ast.AST, str], bool]:
-        """``(scope, name) -> True`` for locals assigned from ``TRACER``."""
+        """``(scope, name) -> True`` for locals assigned from the global."""
         bindings: Dict[Tuple[ast.AST, str], bool] = {}
         for node in info.walk(ast.Assign):
-            if not self._is_tracer_ref(node.value):
+            if not self._is_emitter_ref(node.value):
                 continue
             scope = info.enclosing_function(node) or info.tree
             for target in node.targets:
@@ -249,13 +270,15 @@ class UnguardedTraceEmission(LintRule):
         for node in info.walk(ast.Call):
             func = node.func
             if not (isinstance(func, ast.Attribute)
-                    and func.attr in _EMIT_METHODS):
+                    and func.attr in self._emit_methods):
                 continue
-            if self._is_tracer_ref(func.value):
+            if self._is_emitter_ref(func.value):
                 yield self.diagnostic(
                     info, node,
-                    f"emit directly on TRACER; bind `tr = TRACER` once and "
-                    f"guard `if tr.active: tr.{func.attr}(...)`",
+                    f"emit directly on {self._emit_global}; bind "
+                    f"`{self._emit_bind} = {self._emit_global}` once and "
+                    f"guard `if {self._emit_bind}.active: "
+                    f"{self._emit_bind}.{func.attr}(...)`",
                 )
                 continue
             if not isinstance(func.value, ast.Name):
@@ -267,9 +290,36 @@ class UnguardedTraceEmission(LintRule):
             if not self._is_guarded(info, node, name):
                 yield self.diagnostic(
                     info, node,
-                    f"trace emission {name}.{func.attr}(...) is outside an "
-                    f"`if {name}.active:` guard (zero-allocation contract)",
+                    f"{self._emit_noun} {name}.{func.attr}(...) is outside "
+                    f"an `if {name}.active:` guard (zero-allocation "
+                    "contract)",
                 )
+
+
+#: The emission methods of the profiler protocol (``NullProfiler``'s no-ops).
+_PROFILER_EMIT_METHODS = {"phase", "sample"}
+
+
+@register_rule
+class UnguardedProfilerEmission(UnguardedTraceEmission):
+    """RL008: profiler emission must sit behind the ``if pr.active:`` guard."""
+
+    code = "RL008"
+    name = "unguarded-profiler-emission"
+    invariant = ("profiler-emission sites bind pr = PROFILER and guard "
+                 "every emit call with `if pr.active:`")
+    rationale = ("the profiler rides the same null-object contract as the "
+                 "tracer: with the NullProfiler installed a phase/sample "
+                 "site is one attribute load and one false branch. "
+                 "Unguarded emits build label/value arguments on every "
+                 "unprofiled run — cost on the exact hot path the profiler "
+                 "exists to measure.")
+    allowed_modules = ("obs/",)
+
+    _emit_methods = _PROFILER_EMIT_METHODS
+    _emit_global = "PROFILER"
+    _emit_bind = "pr"
+    _emit_noun = "profiler emission"
 
 
 #: Function names treated as canonical serializers.

@@ -48,6 +48,16 @@ from repro.obs.export import (
     write_jsonl,
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.profiler import (
+    NULL_PROFILER,
+    NullProfiler,
+    ProfileReport,
+    Profiler,
+    current_profiler,
+    install_profiler,
+    profiling,
+    uninstall_profiler,
+)
 from repro.obs.tracer import (
     NULL_TRACER,
     NullTracer,
@@ -64,7 +74,9 @@ __all__ = [
     "Histogram",
     "LIFECYCLE_PHASES",
     "MetricsRegistry",
+    "NULL_PROFILER",
     "NULL_TRACER",
+    "NullProfiler",
     "NullTracer",
     "PHASE_ACK_RECEIVED",
     "PHASE_ACK_SENT",
@@ -74,14 +86,20 @@ __all__ = [
     "PHASE_MSG_SENT",
     "PHASE_SWITCH_RECEIVED",
     "PHASE_UPDATE_ISSUED",
+    "ProfileReport",
+    "Profiler",
     "TraceEvent",
     "TraceLog",
     "Tracer",
+    "current_profiler",
     "current_tracer",
+    "install_profiler",
     "install_tracer",
+    "profiling",
     "trace_to_chrome",
     "trace_to_jsonl",
     "tracing",
+    "uninstall_profiler",
     "uninstall_tracer",
     "validate_chrome_trace",
     "write_chrome_trace",

@@ -34,6 +34,8 @@ from repro.controller.update_plan import PlanExecutor
 from repro.faults.plan import ArmedFaults, arm_fault_plan
 from repro.net.network import Network
 from repro.net.traffic import TrafficGenerator
+from repro.obs import profiler as obs_profiler
+from repro.obs.profiler import Profiler, install_profiler, uninstall_profiler
 from repro.obs.tracer import Tracer, install_tracer, uninstall_tracer
 from repro.recovery.manager import RecoveryManager
 from repro.session.record import RunRecord
@@ -53,22 +55,36 @@ def run_session(spec: SessionSpec) -> RunRecord:
 
     When :attr:`~repro.session.spec.SessionSpec.trace` is set, a collecting
     tracer is installed for the duration of the run and the resulting
-    :class:`~repro.obs.events.TraceLog` rides on the record.  Tracing only
-    *observes* — every instrumentation site is read-only and the periodic
-    metrics probe mutates no simulation state — so a traced run computes the
-    same outcome (and digest) as the identical untraced run.
+    :class:`~repro.obs.events.TraceLog` rides on the record.  When
+    :attr:`~repro.session.spec.SessionKnobs.profile` is set, a collecting
+    :class:`~repro.obs.profiler.Profiler` is installed the same way and the
+    record carries its :class:`~repro.obs.profiler.ProfileReport`.  Both
+    only *observe* — every instrumentation site is read-only and the
+    periodic metrics probe mutates no simulation state — so a traced or
+    profiled run computes the same outcome (and digest) as the identical
+    bare run.
     """
-    if not spec.trace:
-        return _run_session(spec, tracer=None)
-    tracer = install_tracer(Tracer(
-        technique=spec.resolved_technique().name,
-        kind=spec.kind,
-        seed=spec.knobs.seed,
-    ))
+    tracer: Optional[Tracer] = None
+    profiler: Optional[Profiler] = None
     try:
-        return _run_session(spec, tracer=tracer)
+        if spec.trace:
+            tracer = install_tracer(Tracer(
+                technique=spec.resolved_technique().name,
+                kind=spec.kind,
+                seed=spec.knobs.seed,
+            ))
+        if spec.knobs.profile:
+            profiler = install_profiler(Profiler(
+                technique=spec.resolved_technique().name,
+                kind=spec.kind,
+                seed=spec.knobs.seed,
+            ))
+        return _run_session(spec, tracer=tracer, profiler=profiler)
     finally:
-        uninstall_tracer()
+        if profiler is not None:
+            uninstall_profiler()
+        if tracer is not None:
+            uninstall_tracer()
 
 
 def _metrics_probe(tracer: Tracer, sim: Simulator, network: Network,
@@ -91,13 +107,21 @@ def _metrics_probe(tracer: Tracer, sim: Simulator, network: Network,
     tracer.gauge("kernel.pending_events", now, float(sim.pending_count))
 
 
-def _run_session(spec: SessionSpec, tracer: Optional[Tracer]) -> RunRecord:
+def _run_session(spec: SessionSpec, tracer: Optional[Tracer],
+                 profiler: Optional[Profiler] = None) -> RunRecord:
     technique = spec.resolved_technique()
     knobs = spec.knobs
     workload = spec.workload
 
     # 1. Topology, network, flows, pre-update forwarding state ----------------
     sim = Simulator()
+    # The kernel binds its observer locally at each run() entry, so the
+    # profiler must tap the event stream before the first sim.run below.
+    if profiler is not None:
+        profiler.attach(sim)
+    pr = obs_profiler.PROFILER
+    if pr.active:
+        pr.phase("setup")
     rng = SeededRandom(knobs.seed)
     topology = spec.topology()
     network = Network(sim, topology, seed=knobs.seed)
@@ -158,6 +182,8 @@ def _run_session(spec: SessionSpec, tracer: Optional[Tracer]) -> RunRecord:
         traffic.start()
 
     # 4. Update plan -------------------------------------------------------------
+    if pr.active:
+        pr.phase("update")
     plan = spec.plan_builder(network, flows)
     executor = PlanExecutor(
         sim,
@@ -181,6 +207,8 @@ def _run_session(spec: SessionSpec, tracer: Optional[Tracer]) -> RunRecord:
     completed = executor.done.triggered
 
     # 5. Grace window / settling -------------------------------------------------
+    if pr.active:
+        pr.phase("drain")
     if traffic is not None:
         stop_at = sim.now + knobs.grace
         traffic.stop_all(stop_at)
@@ -192,6 +220,8 @@ def _run_session(spec: SessionSpec, tracer: Optional[Tracer]) -> RunRecord:
         probe.cancel()
 
     # 6. Post-processing -----------------------------------------------------------
+    if pr.active:
+        pr.phase("analyze")
     markers = workload.markers(network, flows) if workload.markers else None
     stats = []
     if markers:
@@ -255,6 +285,11 @@ def _run_session(spec: SessionSpec, tracer: Optional[Tracer]) -> RunRecord:
             "topology": topology.name,
             "faults": (spec.faults.to_string()
                        if spec.faults is not None else "none"),
+            "kernel": sim.stats(),
+        })
+    if profiler is not None:
+        record.profile = profiler.finish(meta={
+            "topology": topology.name,
             "kernel": sim.stats(),
         })
     return record

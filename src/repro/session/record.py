@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.analysis.activation import ActivationDelays
 from repro.analysis.flowstats import FlowUpdateStats
 from repro.obs.events import TraceLog
+from repro.obs.profiler import ProfileReport
 
 #: Schema version stamped into serialized records.
 RECORD_SCHEMA = 1
@@ -133,6 +134,9 @@ class RunRecord:
     #: Rule-lifecycle trace collected when the spec armed tracing
     #: (``None`` otherwise); see :mod:`repro.obs`.
     trace: Optional[TraceLog] = None
+    #: Per-callback/per-phase attribution collected when the knobs armed
+    #: profiling (``None`` otherwise); see :mod:`repro.obs.profiler`.
+    profile: Optional[ProfileReport] = None
 
     # -- legacy accessors (pre-session result classes) -----------------------
     @property
@@ -198,6 +202,10 @@ class RunRecord:
         # trace-off payloads stay byte-identical to pre-tracing records.
         if self.trace is not None and self.trace:
             payload["trace"] = self.trace.as_dict()
+        # And when profiling was armed, so profile-off payloads stay
+        # byte-identical to pre-profiler records.
+        if self.profile is not None and self.profile:
+            payload["profile"] = self.profile.as_dict()
         return payload
 
     @classmethod
@@ -238,6 +246,8 @@ class RunRecord:
             recovery=dict(payload.get("recovery") or {}),
             trace=(TraceLog.from_dict(payload["trace"])
                    if payload.get("trace") else None),
+            profile=(ProfileReport.from_dict(payload["profile"])
+                     if payload.get("profile") else None),
         )
 
     def summary(self) -> Dict[str, object]:
@@ -281,9 +291,11 @@ class RunRecord:
         """
         payload = self.as_dict()
         payload.pop("spec", None)
-        # The trace is an observation of the run, not part of its outcome:
-        # excluding it makes traced and untraced runs digest-comparable.
+        # The trace and the profile are observations of the run, not part of
+        # its outcome: excluding them makes traced/profiled runs
+        # digest-comparable with their bare twins.
         payload.pop("trace", None)
+        payload.pop("profile", None)
         activation = payload.get("activation")
         if activation is not None:
             payload["activation"] = {

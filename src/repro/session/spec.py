@@ -96,6 +96,13 @@ class SessionKnobs:
     #: keeps the pre-recovery code paths byte-identical.  See
     #: :mod:`repro.recovery`.
     recovery: Optional["RecoveryPolicy"] = None
+    #: Arm the sim-profiler for this run: the engine installs a collecting
+    #: :class:`~repro.obs.profiler.Profiler` on the kernel's event-observer
+    #: hook and the record carries the resulting
+    #: :class:`~repro.obs.profiler.ProfileReport`.  Profiling only observes
+    #: — profiled and unprofiled runs of the same spec produce identical
+    #: digests.
+    profile: bool = False
 
 
 @dataclass
@@ -174,15 +181,18 @@ class SessionSpec:
         return config
 
     def _knobs_config(self) -> Dict[str, object]:
-        """JSON form of the knobs; the recovery key exists only when set.
+        """JSON form of the knobs; optional keys exist only when armed.
 
-        An absent policy and a disabled one are both "no recovery", and
-        omitting the key keeps knob encodings byte-identical to configs
-        produced before the recovery subsystem existed.
+        An absent recovery policy and a disabled one are both "no recovery",
+        and a ``profile: False`` knob is "no profiler": omitting both keys
+        keeps knob encodings byte-identical to configs produced before those
+        subsystems existed.
         """
         knobs = asdict(self.knobs)
         if knobs.get("recovery") is None:
             knobs.pop("recovery", None)
+        if not knobs.get("profile"):
+            knobs.pop("profile", None)
         return knobs
 
     def run(self):

@@ -263,6 +263,17 @@ class Simulator:
         """Number of callbacks currently scheduled on the heap."""
         return len(self._heap)
 
+    @property
+    def schedule_sequence(self) -> int:
+        """Monotone count of callbacks scheduled over the simulator's lifetime.
+
+        The FIFO tiebreaker counter — deterministic for a fixed seed, so
+        deltas between two points in the run are a reproducible measure of
+        event-heap churn (what :class:`repro.obs.profiler.Profiler`
+        attributes to callback sites).
+        """
+        return self._sequence
+
     def stats(self) -> dict:
         """Event-loop counters (benchmark and trace metadata)."""
         return {

@@ -1,0 +1,11 @@
+"""RL008 fixture: the canonical bind-then-guard profiler idiom."""
+
+from repro.obs import profiler as obs_profiler
+
+PROFILER = obs_profiler.PROFILER
+
+
+def before_update(executor):
+    pr = PROFILER
+    if pr.active:
+        pr.phase("update")

@@ -1,0 +1,14 @@
+"""RL008 fixture: profiler emissions outside the active guard."""
+
+from repro.obs import profiler as obs_profiler
+
+PROFILER = obs_profiler.PROFILER
+
+
+def before_update(executor):
+    pr = PROFILER
+    pr.phase("update")
+
+
+def on_batch(size):
+    PROFILER.sample("batch_size", size)

@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 from repro.bench.compare import compare_results, load_baseline
 from repro.bench.harness import BenchResult, BenchSpec, run_spec, run_suite
 from repro.bench.suite import BENCHMARKS, benchmark_names
@@ -99,3 +101,159 @@ def test_committed_baseline_matches_registry():
         entries = load_baseline(DEFAULT_BASELINE, scale)
         assert entries, f"baseline missing {scale} section"
         assert {entry["name"] for entry in entries} == set(benchmark_names())
+
+
+# ---------------------------------------------------------------------------
+# Perf-trajectory history
+# ---------------------------------------------------------------------------
+
+
+def _snapshot_dir(tmp_path, snapshots, baseline=None):
+    """Write a synthetic benchmarks/ directory: BASELINE.json + BENCH_*.json.
+
+    ``snapshots`` maps rev -> (timestamp, {workload: normalized}, notes).
+    """
+    if baseline is None:
+        baseline = {"a": 1.0, "b": 1.0}
+    tmp_path.mkdir(parents=True, exist_ok=True)
+    (tmp_path / "BASELINE.json").write_text(json.dumps({
+        "quick": {
+            "revision": "base000",
+            "results": [{"name": name, "wall_s": cost, "normalized": cost}
+                        for name, cost in baseline.items()],
+        },
+    }))
+    for rev, (timestamp, costs, notes) in snapshots.items():
+        payload = {
+            "scale": "quick",
+            "revision": rev,
+            "timestamp": timestamp,
+            "results": [{"name": name, "wall_s": cost, "normalized": cost}
+                        for name, cost in costs.items()],
+        }
+        if notes:
+            payload["notes"] = notes
+        (tmp_path / f"BENCH_{rev}.json").write_text(json.dumps(payload))
+    return tmp_path
+
+
+def test_history_geomean_and_ordering(tmp_path):
+    from repro.bench.history import load_history
+
+    directory = _snapshot_dir(tmp_path / "bench", {
+        # Later snapshot committed with an earlier-sorting name on purpose:
+        # ordering must follow timestamps, not filenames.
+        "aaa2222": ("2026-02-01T00:00:00", {"a": 0.25, "b": 1.0}, None),
+        "zzz1111": ("2026-01-01T00:00:00", {"a": 0.5, "b": 1.0}, None),
+    })
+    history = load_history(directory)
+    assert [snap.revision for snap in history.snapshots] == [
+        "zzz1111", "aaa2222"]
+    first, second = history.snapshots
+    # speedup = baseline cost / snapshot cost; geomean over {a, b}.
+    assert first.speedups == {"a": 2.0, "b": 1.0}
+    assert first.geomean == pytest.approx(2.0 ** 0.5)
+    assert second.geomean == pytest.approx(4.0 ** 0.5)
+    assert history.predecessor(second) is first
+    assert history.predecessor(first) is None
+
+
+def test_history_names_the_moving_workload(tmp_path):
+    from repro.bench.history import load_history, movers
+
+    directory = _snapshot_dir(tmp_path / "bench", {
+        "rev1": ("2026-01-01T00:00:00", {"a": 1.0, "b": 1.0}, None),
+        "rev2": ("2026-02-01T00:00:00", {"a": 0.5, "b": 0.98}, None),
+    })
+    history = load_history(directory)
+    moved = movers(history.snapshots[0], history.snapshots[1])
+    assert [mover.name for mover in moved] == ["a"]  # b moved only 2%
+    assert moved[0].change == pytest.approx(1.0)     # 1.0x -> 2.0x
+    assert "a 1.00x -> 2.00x (+100%)" == moved[0].describe()
+
+
+def test_history_gate_fails_on_unexplained_drop(tmp_path):
+    from repro.bench.history import gate_history, load_history, render_history
+
+    directory = _snapshot_dir(tmp_path / "bench", {
+        "fast111": ("2026-01-01T00:00:00", {"a": 0.5, "b": 0.5}, None),
+        "slow222": ("2026-02-01T00:00:00", {"a": 1.0, "b": 1.0}, None),
+    })
+    history = load_history(directory)
+    failures = gate_history(history, max_drop=0.15)
+    assert [f.snapshot.revision for f in failures] == ["slow222"]
+    assert failures[0].drop == pytest.approx(0.5)
+    text = render_history(history)
+    assert "GATE FAILURES" in text
+    assert "slow222" in failures[0].describe()
+    # Attribution names the workloads that slowed.
+    assert "movers:" in failures[0].describe()
+
+
+def test_history_gate_waived_by_notes(tmp_path):
+    from repro.bench.history import gate_history, load_history, render_history
+
+    directory = _snapshot_dir(tmp_path / "bench", {
+        "fast111": ("2026-01-01T00:00:00", {"a": 0.5, "b": 0.5}, None),
+        "slow222": ("2026-02-01T00:00:00", {"a": 1.0, "b": 1.0},
+                    "accepted: correctness fix costs 2x"),
+    })
+    history = load_history(directory)
+    assert gate_history(history, max_drop=0.15) == []
+    assert "gate: ok" in render_history(history)
+
+
+def test_history_chains_per_scale(tmp_path):
+    from repro.bench.history import load_history, gate_history
+
+    directory = _snapshot_dir(tmp_path / "bench", {
+        "quick11": ("2026-01-01T00:00:00", {"a": 0.5, "b": 0.5}, None),
+    })
+    # A slower *full*-scale snapshot must not chain against the quick one.
+    (directory / "BENCH_full222.json").write_text(json.dumps({
+        "scale": "full",
+        "revision": "full222",
+        "timestamp": "2026-02-01T00:00:00",
+        "results": [{"name": "a", "wall_s": 9.0, "normalized": 9.0}],
+    }))
+    history = load_history(directory)
+    full = next(s for s in history.snapshots if s.scale == "full")
+    assert history.predecessor(full) is None
+    assert full.speedups == {}  # no full-scale baseline section
+    assert gate_history(history) == []
+
+
+def test_history_over_the_committed_snapshots():
+    from pathlib import Path
+
+    from repro.bench.history import gate_history, load_history, render_history
+
+    directory = Path(__file__).resolve().parents[2] / "benchmarks"
+    history = load_history(directory)
+    assert len(history.snapshots) >= 4
+    assert all(snap.geomean is not None for snap in history.snapshots)
+    assert gate_history(history) == [], (
+        "committed snapshots must not carry unexplained perf drops")
+    text = render_history(history)
+    assert "Perf trajectory" in text
+    assert "gate: ok" in text
+
+
+def test_bench_cli_history(capsys):
+    from repro.bench.__main__ import main
+
+    assert main(["--history"]) == 0
+    out = capsys.readouterr().out
+    assert "Perf trajectory" in out
+    assert "gate: ok" in out
+
+
+def test_bench_cli_history_gate_failure(tmp_path, capsys):
+    from repro.bench.__main__ import main
+
+    directory = _snapshot_dir(tmp_path / "bench", {
+        "fast111": ("2026-01-01T00:00:00", {"a": 0.5}, None),
+        "slow222": ("2026-02-01T00:00:00", {"a": 1.0}, None),
+    })
+    assert main(["--history", "--history-dir", str(directory)]) == 1
+    assert "GATE FAILURES" in capsys.readouterr().out

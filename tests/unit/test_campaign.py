@@ -238,3 +238,164 @@ class TestTraceIntegration:
         CampaignRunner(_tiny_spec(techniques=["general"], seeds=[1]),
                        results, max_workers=1).run()
         assert "Activation gaps" not in render_report(results)
+
+
+class TestTelemetry:
+    def test_records_carry_wall_and_rss_and_stay_jsonable(self):
+        cell = CampaignCell(scenario="path-migration", technique="general",
+                            flow_count=2, max_update_duration=5.0)
+        record = run_cell(cell)
+        assert record["wall_s"] >= 0.0
+        assert record["peak_rss_kb"] > 0
+        json.dumps(record)
+
+    def test_error_records_carry_telemetry_too(self):
+        cell = CampaignCell(scenario="ecmp-rebalance", technique="general",
+                            topology="triangle")
+        record = run_cell(cell)
+        assert record["status"] == "error"
+        assert "wall_s" in record and "peak_rss_kb" in record
+
+    def test_run_writes_heartbeat_shards_and_manifest(self, tmp_path):
+        from repro.campaign.heartbeat import load_manifest, load_shards
+
+        results = tmp_path / "results.jsonl"
+        runner = CampaignRunner(_tiny_spec(), results, max_workers=2)
+        assert runner.heartbeat_dir == tmp_path / "heartbeats"
+        outcome = runner.run()
+        assert outcome.failed == 0
+
+        manifest = load_manifest(runner.heartbeat_dir)
+        assert manifest["total_cells"] == 4
+        assert manifest["pending"] == 4
+        assert manifest["results"] == str(results)
+
+        shards = load_shards(runner.heartbeat_dir)
+        assert shards, "no heartbeat shards written"
+        events = [line for lines in shards.values() for line in lines]
+        assert sum(1 for e in events if e["event"] == "cell-start") == 4
+        done = [e for e in events if e["event"] == "cell-done"]
+        assert sum(1 for _ in done) == 4
+        assert all(e["status"] == "ok" for e in done)
+        assert all(e["peak_rss_kb"] > 0 for e in done)
+        # Each worker's cumulative counter ends at its own shard length.
+        for lines in shards.values():
+            finished = [e for e in lines if e["event"] == "cell-done"]
+            if finished:
+                assert finished[-1]["cells_done"] == len(finished)
+
+    def test_progress_lines_carry_elapsed_and_eta(self, tmp_path):
+        messages = []
+        CampaignRunner(_tiny_spec(techniques=["general"], seeds=[1]),
+                       tmp_path / "results.jsonl",
+                       max_workers=1).run(progress=messages.append)
+        cell_lines = [m for m in messages if m.startswith("[")]
+        assert cell_lines
+        assert all("elapsed" in line and "eta" in line for line in cell_lines)
+
+    def test_report_gains_run_health_section(self, tmp_path):
+        results = tmp_path / "results.jsonl"
+        CampaignRunner(_tiny_spec(techniques=["general"], seeds=[1]),
+                       results, max_workers=1).run()
+        text = render_report(results)
+        assert "Run health — per-worker runtime" in text
+        assert "Slowest cells" in text
+
+    def test_old_results_without_telemetry_skip_the_section(self, tmp_path):
+        results = tmp_path / "results.jsonl"
+        results.write_text(json.dumps({
+            "status": "ok", "scenario": "s", "technique": "general",
+            "cell_id": "x", "metrics": {},
+        }) + "\n")
+        assert "Run health" not in render_report(results)
+
+
+class TestStatus:
+    @staticmethod
+    def _write_shard(directory, pid, lines):
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"worker-{pid}.heartbeat.jsonl"
+        path.write_text("".join(
+            json.dumps(dict(line, pid=pid)) + "\n" for line in lines))
+        return path
+
+    def test_status_after_a_real_run(self, tmp_path):
+        from repro.campaign.status import render_status
+
+        results = tmp_path / "results.jsonl"
+        CampaignRunner(_tiny_spec(), results, max_workers=2).run()
+        text = render_status(results)
+        assert "Campaign status — 4 cells done" in text
+        assert "Workers" in text
+        # Directory forms resolve to the same heartbeat data.
+        assert "4 cells done" in render_status(tmp_path)
+        assert "4 cells done" in render_status(tmp_path / "heartbeats")
+
+    def test_running_straggler_and_dead_detection(self, tmp_path):
+        from repro.campaign.status import render_status, worker_statuses
+        from repro.campaign.heartbeat import load_shards
+
+        now = 1000.0
+        done = {"event": "cell-done", "cell_id": "a", "status": "ok",
+                "wall_s": 2.0, "cells_done": 1, "cells_per_s": 0.5,
+                "outcomes": {"ok": 1}, "peak_rss_kb": 1024}
+        # Worker 1: started a cell 3s ago with a 2s median — running.
+        self._write_shard(tmp_path, 1, [
+            {"event": "worker-start", "ts": now - 60},
+            dict(done, ts=now - 50),
+            {"event": "cell-start", "cell_id": "b", "ts": now - 3},
+        ])
+        # Worker 2: cell open for 30s (> 4x median of 2s) — straggler.
+        self._write_shard(tmp_path, 2, [
+            {"event": "worker-start", "ts": now - 60},
+            dict(done, cell_id="c", ts=now - 40),
+            {"event": "cell-start", "cell_id": "d", "ts": now - 30},
+        ])
+        # Worker 3: mid-cell and silent past the stale window — dead?.
+        self._write_shard(tmp_path, 3, [
+            {"event": "worker-start", "ts": now - 500},
+            {"event": "cell-start", "cell_id": "e", "ts": now - 400},
+        ])
+        statuses = worker_statuses(load_shards(tmp_path), now=now)
+        states = {status.pid: status.state for status in statuses}
+        assert states == {1: "running", 2: "straggler", 3: "dead?"}
+
+        text = render_status(tmp_path, now=now)
+        assert "straggler" in text and "dead?" in text
+        assert "warning: worker 2 is straggler" in text
+        assert "warning: worker 3 is dead?" in text
+
+    def test_exited_vs_idle_without_open_cells(self, tmp_path):
+        from repro.campaign.status import worker_statuses
+        from repro.campaign.heartbeat import load_shards
+
+        now = 1000.0
+        self._write_shard(tmp_path, 1, [
+            {"event": "worker-start", "ts": now - 500}])
+        self._write_shard(tmp_path, 2, [
+            {"event": "worker-start", "ts": now - 5}])
+        states = {s.pid: s.state
+                  for s in worker_statuses(load_shards(tmp_path), now=now)}
+        assert states == {1: "exited", 2: "idle"}
+
+    def test_status_of_an_empty_directory(self, tmp_path):
+        from repro.campaign.status import render_status
+
+        assert "no heartbeat shards" in render_status(tmp_path / "nothing")
+
+    def test_cli_status_smoke(self, tmp_path, capsys):
+        from repro.campaign.__main__ import main
+
+        results = tmp_path / "results.jsonl"
+        CampaignRunner(_tiny_spec(techniques=["general"], seeds=[1]),
+                       results, max_workers=1).run()
+        assert main(["--status", str(results)]) == 0
+        out = capsys.readouterr().out
+        assert "Campaign status" in out
+
+    def test_cli_requires_a_command_or_status(self, capsys):
+        from repro.campaign.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main([])
+        capsys.readouterr()

@@ -46,7 +46,8 @@ from repro.scenarios.base import ScenarioParams
 
 FIXTURES = Path(__file__).parent / "lint_fixtures"
 
-ALL_RULES = ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007")
+ALL_RULES = ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007",
+             "RL008")
 
 
 def _lint_fixture(name: str):
@@ -97,6 +98,22 @@ def test_golden_diagnostics_rl004():
         "rl004_violation.py:14:4: RL004 emit directly on TRACER; bind "
         "`tr = TRACER` once and guard `if tr.active: tr.fault(...)`",
     ]
+
+
+def test_golden_diagnostics_rl008():
+    rendered = [d.render() for d in _lint_fixture("rl008_violation.py")]
+    assert rendered == [
+        "rl008_violation.py:10:4: RL008 profiler emission pr.phase(...) is "
+        "outside an `if pr.active:` guard (zero-allocation contract)",
+        "rl008_violation.py:14:4: RL008 emit directly on PROFILER; bind "
+        "`pr = PROFILER` once and guard `if pr.active: pr.sample(...)`",
+    ]
+
+
+def test_rl008_is_silent_inside_the_obs_package():
+    source = (FIXTURES / "rl008_violation.py").read_text(encoding="utf-8")
+    assert lint_source(source, module="obs/profiler.py") == []
+    assert lint_source(source, module="session/engine.py")
 
 
 def test_golden_diagnostics_rl006():
@@ -165,7 +182,7 @@ def test_syntax_errors_surface_as_engine_diagnostics():
 # -- registry -----------------------------------------------------------------
 
 
-def test_all_seven_rules_are_registered():
+def test_all_eight_rules_are_registered():
     assert tuple(available_rules()) == ALL_RULES
 
 

@@ -1,0 +1,269 @@
+"""Tests for the deterministic sim-profiler: the null-object fast path
+(no allocations when disarmed), kernel-observer attribution through toy
+simulations and a real profiled session, profile-off digest transparency
+(a profiled run digests identically to its unprofiled twin), the report
+round-trip, and the hot-callback rendering."""
+
+import gc
+import json
+import tracemalloc
+
+import pytest
+
+from repro.analysis.profile import (
+    hot_callbacks,
+    render_profile_report,
+)
+from repro.obs import (
+    NULL_PROFILER,
+    NullProfiler,
+    ProfileReport,
+    Profiler,
+    install_profiler,
+    profiling,
+    uninstall_profiler,
+)
+from repro.obs import profiler as obs_profiler
+from repro.scenarios import ScenarioParams, run_scenario
+from repro.session.record import RunRecord
+from repro.sim import kernel
+from repro.sim.kernel import Simulator
+
+
+def _quick_params(**overrides):
+    defaults = dict(flow_count=2, warmup=0.1, grace=0.2,
+                    max_update_duration=5.0, seed=7)
+    defaults.update(overrides)
+    return ScenarioParams(**defaults)
+
+
+# ---------------------------------------------------------------------------
+# Null-object fast path
+# ---------------------------------------------------------------------------
+
+class TestNullProfiler:
+    def test_default_profiler_is_the_shared_null_object(self):
+        assert obs_profiler.PROFILER is NULL_PROFILER
+        assert obs_profiler.current_profiler().active is False
+
+    def test_active_is_a_class_attribute(self):
+        # The hot-path guard must not hit __dict__ lookups per instance.
+        assert "active" in NullProfiler.__dict__
+        assert NullProfiler.active is False
+        assert Profiler.active is True
+
+    def test_disarmed_hot_path_allocates_nothing(self):
+        """The guarded call-site pattern must be allocation-free when the
+        null profiler is installed — the zero-cost-when-disarmed contract."""
+        pr = obs_profiler.PROFILER
+        assert pr is NULL_PROFILER
+
+        def hot_site(iterations):
+            for _ in range(iterations):
+                if pr.active:
+                    pr.phase("update")
+
+        hot_site(100)  # warm up any lazy interpreter state
+        gc.collect()
+        tracemalloc.start()
+        try:
+            baseline = tracemalloc.get_traced_memory()[0]
+            hot_site(10_000)
+            grown = tracemalloc.get_traced_memory()[0] - baseline
+        finally:
+            tracemalloc.stop()
+        assert grown < 512, f"disarmed profile path leaked {grown} bytes"
+
+    def test_null_methods_are_noops(self):
+        null = NullProfiler()
+        null.phase("setup")
+        null.sample("batch", 3.0)
+        assert not hasattr(null, "_stats")
+
+
+# ---------------------------------------------------------------------------
+# Install / uninstall lifecycle
+# ---------------------------------------------------------------------------
+
+class TestInstall:
+    def test_install_swaps_the_module_global_and_uninstall_restores(self):
+        pr = install_profiler(Profiler(technique="t", kind="k", seed=1))
+        try:
+            assert obs_profiler.PROFILER is pr
+            assert obs_profiler.current_profiler().active is True
+        finally:
+            uninstall_profiler()
+        assert obs_profiler.PROFILER is NULL_PROFILER
+
+    def test_profiled_sessions_cannot_nest(self):
+        install_profiler(Profiler())
+        try:
+            with pytest.raises(RuntimeError, match="cannot nest"):
+                install_profiler(Profiler())
+        finally:
+            uninstall_profiler()
+
+    def test_profiling_context_manager_restores_on_error(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            with profiling(kind="test"):
+                raise RuntimeError("boom")
+        assert obs_profiler.PROFILER is NULL_PROFILER
+
+    def test_uninstall_detaches_a_live_kernel_observer(self):
+        sim = Simulator()
+        pr = install_profiler(Profiler())
+        pr.attach(sim)
+        assert kernel._OBSERVER is not None
+        uninstall_profiler()
+        assert kernel._OBSERVER is None
+        assert obs_profiler.PROFILER is NULL_PROFILER
+
+    def test_attach_refuses_a_second_simulator(self):
+        pr = Profiler()
+        pr.attach(Simulator())
+        try:
+            with pytest.raises(RuntimeError, match="already attached"):
+                pr.attach(Simulator())
+        finally:
+            pr.detach()
+
+
+# ---------------------------------------------------------------------------
+# Attribution on a toy simulation
+# ---------------------------------------------------------------------------
+
+def _toy_run():
+    """One deterministic toy sim under a fresh profiler; returns its report."""
+    def ping():
+        sim.schedule_callback(0.1, pong)
+
+    def pong():
+        pass
+
+    sim = Simulator()
+    pr = Profiler(technique="toy", kind="unit", seed=3)
+    pr.attach(sim)
+    try:
+        for index in range(5):
+            sim.schedule_callback(0.05 * (index + 1), ping)
+        pr.phase("drive")
+        sim.run(until=2.0)
+    finally:
+        report = pr.finish(meta={"toy": True})
+    return report
+
+
+class TestAttribution:
+    def test_counts_are_deterministic_and_attributed_per_site(self):
+        report = _toy_run()
+        sites = {row["site"]: row for row in report.callbacks}
+        ping_row = next(row for site, row in sites.items()
+                        if site.endswith("ping"))
+        pong_row = next(row for site, row in sites.items()
+                        if site.endswith("pong"))
+        assert ping_row["calls"] == 5
+        assert pong_row["calls"] == 5
+        # Heap churn: each ping schedules exactly one pong; pong is a leaf.
+        assert ping_row["scheduled"] == 5
+        assert pong_row["scheduled"] == 0
+        assert report.totals["events"] == 10
+
+    def test_two_identical_runs_agree_on_all_deterministic_fields(self):
+        first, second = _toy_run(), _toy_run()
+        strip = lambda report: [
+            {key: row[key] for key in ("site", "calls", "scheduled")}
+            for row in report.callbacks
+        ]
+        assert strip(first) == strip(second)
+        assert first.totals["events"] == second.totals["events"]
+
+    def test_phases_record_wall_events_and_memory(self):
+        report = _toy_run()
+        assert [row["name"] for row in report.phases] == ["drive"]
+        drive = report.phases[0]
+        assert drive["events"] == 10
+        assert drive["wall_s"] >= 0.0
+        # attach() started tracemalloc, so the memory split must be present.
+        assert "alloc_kb" in drive and "peak_kb" in drive
+
+    def test_by_class_folds_sites_into_owners(self):
+        report = ProfileReport(callbacks=[
+            {"site": "repro.sim.kernel.Simulator._fire", "calls": 2,
+             "wall_s": 0.5, "scheduled": 3},
+            {"site": "repro.sim.kernel.Simulator._step", "calls": 1,
+             "wall_s": 0.25, "scheduled": 1},
+            {"site": "toy.ping", "calls": 4, "wall_s": 0.1, "scheduled": 0},
+        ])
+        classes = {row["event_class"]: row for row in report.by_class()}
+        assert classes["Simulator"]["calls"] == 3
+        assert classes["Simulator"]["scheduled"] == 4
+        assert classes["toy"]["calls"] == 4
+
+
+# ---------------------------------------------------------------------------
+# Profiled sessions: arming, digest transparency, round-trip
+# ---------------------------------------------------------------------------
+
+class TestProfiledSession:
+    def test_profiled_run_carries_a_report_and_restores_globals(self):
+        record = run_scenario("path-migration", "general",
+                              _quick_params(profile=True))
+        assert record.profile is not None
+        assert record.profile.kind == "scenario"
+        assert record.profile.totals["events"] > 100
+        assert record.profile.callbacks
+        assert [row["name"] for row in record.profile.phases] == [
+            "setup", "update", "drain", "analyze"]
+        assert obs_profiler.PROFILER is NULL_PROFILER
+        assert kernel._OBSERVER is None
+
+    def test_profile_off_runs_omit_the_key_entirely(self):
+        record = run_scenario("path-migration", "general", _quick_params())
+        assert record.profile is None
+        assert "profile" not in record.as_dict()
+        assert "profile" not in record.spec["knobs"]
+
+    def test_profiled_and_unprofiled_runs_digest_identically(self):
+        profiled = run_scenario("path-migration", "general",
+                                _quick_params(profile=True))
+        bare = run_scenario("path-migration", "general", _quick_params())
+        assert profiled.digest() == bare.digest()
+        assert profiled.dropped_packets == bare.dropped_packets
+        assert profiled.update_duration == bare.update_duration
+
+    def test_record_round_trips_through_json_with_its_profile(self):
+        record = run_scenario("path-migration", "general",
+                              _quick_params(profile=True))
+        payload = json.loads(json.dumps(record.as_dict()))
+        rebuilt = RunRecord.from_dict(payload)
+        assert rebuilt.profile == record.profile
+        assert rebuilt.digest() == record.digest()
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+
+class TestRendering:
+    def test_hot_callbacks_rank_by_wall_with_stable_ties(self):
+        report = ProfileReport(callbacks=[
+            {"site": "b", "calls": 1, "wall_s": 0.1, "scheduled": 0},
+            {"site": "a", "calls": 9, "wall_s": 0.3, "scheduled": 0},
+            {"site": "c", "calls": 5, "wall_s": 0.1, "scheduled": 0},
+        ], totals={"events": 15, "wall_s": 0.5, "scheduled": 0})
+        ranked = [row["site"] for row in hot_callbacks(report, top=2)]
+        # c outranks b on the call-count tiebreak at equal wall.
+        assert ranked == ["a", "c"]
+
+    def test_render_names_the_top_sites_and_phases(self):
+        record = run_scenario("path-migration", "general",
+                              _quick_params(profile=True))
+        text = render_profile_report(record.profile, top=5)
+        assert "Profile — scenario/general seed=7" in text
+        assert "Phases" in text and "Top 5 hot callbacks" in text
+        assert "Event classes" in text
+        # The kernel's pooled-timeout path always shows up in a real run.
+        assert "sim.kernel" in text
+
+    def test_empty_report_renders_a_placeholder(self):
+        assert "empty profile" in render_profile_report(ProfileReport())
