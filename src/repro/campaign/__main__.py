@@ -35,6 +35,7 @@ from repro.analysis.report import format_table
 from repro.campaign.grid import CampaignSpec
 from repro.campaign.report import render_report
 from repro.campaign.runner import CampaignRunner
+from repro.campaign.status import DEFAULT_STALE_AFTER, DEFAULT_STRAGGLER_FACTOR
 from repro.faults import available_faults, get_fault
 from repro.faults.plan import split_outside_parens
 from repro.scenarios import SCENARIOS, TOPOLOGY_FAMILIES, available_scenarios
@@ -93,6 +94,16 @@ def build_parser() -> argparse.ArgumentParser:
                              "heartbeat shards (pass the results directory, "
                              "the results file, or the heartbeats directory) "
                              "and exit; safe while the campaign is running")
+    parser.add_argument("--dead-after", type=float,
+                        default=DEFAULT_STALE_AFTER, metavar="SECONDS",
+                        help="--status: a worker silent this long mid-cell "
+                             "is flagged dead? (idle workers become exited; "
+                             f"default {DEFAULT_STALE_AFTER:.0f}s)")
+    parser.add_argument("--straggler-factor", type=float,
+                        default=DEFAULT_STRAGGLER_FACTOR, metavar="X",
+                        help="--status: a cell open longer than X times the "
+                             "fleet's median cell wall marks its worker a "
+                             f"straggler (default {DEFAULT_STRAGGLER_FACTOR:g}x)")
     commands = parser.add_subparsers(dest="command", required=False)
 
     commands.add_parser("list", help="list scenarios and topology families")
@@ -139,6 +150,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="directory for per-worker heartbeat shards read "
                           "by --status (default: 'heartbeats' next to the "
                           "results file)")
+    run.add_argument("--cache", type=Path, default=None, metavar="STORE",
+                     help="run-store directory (see python -m repro.store): "
+                          "pending cells with a digest-verified record there "
+                          "are emitted from the store instead of simulated")
     run.add_argument("--out", type=Path, default=Path(DEFAULT_RESULTS),
                      help="JSON-lines results file (appended; enables resume)")
     run.add_argument("--fresh", action="store_true",
@@ -151,6 +166,12 @@ def build_parser() -> argparse.ArgumentParser:
     report = commands.add_parser("report", help="aggregate a results file")
     report.add_argument("--out", type=Path, default=Path(DEFAULT_RESULTS),
                         help="JSON-lines results file to aggregate")
+    report.add_argument("--baseline", type=Path, default=None,
+                        metavar="STORE_OR_RESULTS",
+                        help="also render the differential resilience table "
+                             "against a baseline (a run-store directory or "
+                             "another results file): cells whose outcome or "
+                             "digest changed, with a one-line explanation")
     return parser
 
 
@@ -195,7 +216,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     runner = CampaignRunner(spec, args.out, max_workers=args.workers,
                             chunk_size=args.chunk_size,
                             trace_dir=args.trace_dir,
-                            heartbeat_dir=args.heartbeat_dir)
+                            heartbeat_dir=args.heartbeat_dir,
+                            cache=args.cache)
     cells = spec.cells()
     logger.info(
         "campaign: %d cells (%d scenarios x %d techniques x %d faults "
@@ -208,24 +230,34 @@ def cmd_run(args: argparse.Namespace) -> int:
         logger.info("tracing armed: shards -> %s", runner.trace_dir)
     logger.info("heartbeats -> %s (watch live: python -m repro.campaign "
                 "--status %s)", runner.heartbeat_dir, args.out)
+    if args.cache is not None:
+        logger.info("cache armed: %s (cells with digest-verified store "
+                    "records are not re-simulated)", args.cache)
     outcome = runner.run()
-    logger.info("done: ran %d, skipped %d (already complete), failed %d",
-                outcome.ran, outcome.skipped, outcome.failed)
+    logger.info("done: ran %d, cached %d (emitted from store), skipped %d "
+                "(already complete), failed %d",
+                outcome.ran, outcome.cached, outcome.skipped, outcome.failed)
     if not args.no_report:
         print()
-        print(render_report(args.out))
+        print(render_report(args.out, cached=outcome.cached))
     return 1 if outcome.failed else 0
 
 
 def cmd_report(args: argparse.Namespace) -> int:
     print(render_report(args.out))
+    if args.baseline is not None:
+        from repro.campaign.report import render_differential_report
+
+        print()
+        print(render_differential_report(args.out, args.baseline))
     return 0
 
 
 def cmd_status(args: argparse.Namespace) -> int:
     from repro.campaign.status import render_status
 
-    print(render_status(args.status))
+    print(render_status(args.status, stale_after=args.dead_after,
+                        straggler_factor=args.straggler_factor))
     return 0
 
 

@@ -114,8 +114,13 @@ def writer_for(directory: Optional[Path]) -> Optional[HeartbeatWriter]:
 
 
 def write_manifest(directory: Path, *, total_cells: int, pending: int,
-                   workers: int, results: str) -> Path:
-    """Write the run manifest the ``--status`` monitor reads for ETA math."""
+                   workers: int, results: str, cached: int = 0) -> Path:
+    """Write the run manifest the ``--status`` monitor reads for ETA math.
+
+    ``cached`` counts cells the runner emitted from its run store instead of
+    simulating; ``pending`` counts only cells actually dispatched to
+    workers, so the monitor's ETA stays a measure of simulation work.
+    """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / MANIFEST_NAME
@@ -125,6 +130,7 @@ def write_manifest(directory: Path, *, total_cells: int, pending: int,
         "pending": pending,
         "workers": workers,
         "results": results,
+        "cached": cached,
     }
     path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     return path

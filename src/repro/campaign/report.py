@@ -260,8 +260,112 @@ def failures(records: List[Dict[str, object]]) -> List[List[object]]:
     return rows
 
 
-def render_report(results_path: Path) -> str:
-    """The campaign's aggregated plain-text report."""
+#: Headers of the ``--baseline`` differential resilience table.
+DIFFERENTIAL_HEADERS = [
+    "scenario", "technique", "fault", "seed", "outcome", "digest",
+    "what changed",
+]
+
+
+def baseline_records(baseline: Path) -> Dict[str, Dict[str, object]]:
+    """``cell_id -> record`` from a results file *or* a run-store directory.
+
+    A directory with an ``objects/`` layout is read as a
+    :class:`~repro.store.RunStore` (its stored campaign summaries carry
+    their cell ids); anything else is treated as a JSONL results file.
+    """
+    baseline = Path(baseline)
+    if baseline.is_dir() and (baseline / "objects").is_dir():
+        from repro.store import RunStore
+
+        out: Dict[str, Dict[str, object]] = {}
+        for obj in RunStore(baseline).iter_objects():
+            summary = obj.get("summary")
+            if summary and summary.get("cell_id"):
+                out[str(summary["cell_id"])] = summary
+        return out
+    return {
+        str(record["cell_id"]): record
+        for record in load_records(baseline)
+        if record.get("status") in FINAL_STATUSES and "cell_id" in record
+    }
+
+
+def differential(
+    records: List[Dict[str, object]],
+    baseline: Dict[str, Dict[str, object]],
+) -> Tuple[List[List[object]], Dict[str, int]]:
+    """Changed-cell rows plus the unchanged/new/missing accounting.
+
+    A cell is *changed* when its outcome status or digest differs from the
+    baseline record of the same ``cell_id``; the last column carries the
+    diff tool's one-line explanation of what moved.
+    """
+    from repro.analysis.diff import diff_runs
+
+    counts = {"unchanged": 0, "changed": 0, "new": 0, "missing": 0}
+    rows: List[List[object]] = []
+    seen: set = set()
+    current = [record for record in records
+               if record.get("status") in FINAL_STATUSES
+               and record.get("cell_id")]
+    current.sort(key=lambda r: (str(r.get("scenario")), str(r.get("technique")),
+                                _fault_label(r), str(r.get("seed"))))
+    for record in current:
+        cell_id = str(record["cell_id"])
+        seen.add(cell_id)
+        base = baseline.get(cell_id)
+        prefix = [record.get("scenario", "?"), record.get("technique", "?"),
+                  _fault_label(record), record.get("seed", "?")]
+        if base is None:
+            counts["new"] += 1
+            rows.append(prefix + [str(record.get("status")), "-",
+                                  "new cell (not in baseline)"])
+            continue
+        same_status = base.get("status") == record.get("status")
+        same_digest = base.get("digest") == record.get("digest")
+        if same_status and same_digest:
+            counts["unchanged"] += 1
+            continue
+        counts["changed"] += 1
+        outcome = (str(record.get("status")) if same_status
+                   else f"{base.get('status')} -> {record.get('status')}")
+        digest = ("=" if same_digest
+                  else f"{base.get('digest')} -> {record.get('digest')}")
+        explanation = diff_runs(base, record, left_label="baseline",
+                                right_label="current").explain()
+        rows.append(prefix + [outcome, digest, explanation])
+    counts["missing"] = sum(1 for cell_id in baseline if cell_id not in seen)
+    return rows, counts
+
+
+def render_differential_report(results_path: Path, baseline_path: Path) -> str:
+    """The differential resilience table against a baseline store/results."""
+    records = load_records(results_path)
+    if not records:
+        return f"no campaign records in {results_path}"
+    baseline = baseline_records(Path(baseline_path))
+    if not baseline:
+        return f"no baseline records in {baseline_path}"
+    rows, counts = differential(records, baseline)
+    summary = (f"{counts['unchanged']} unchanged, {counts['changed']} "
+               f"changed, {counts['new']} new, {counts['missing']} only in "
+               f"baseline")
+    title = (f"Differential resilience — {results_path} vs "
+             f"{baseline_path} ({summary})")
+    if not rows:
+        return f"{title}\n(every matched cell has an identical outcome)"
+    return format_table(DIFFERENTIAL_HEADERS, rows, title=title)
+
+
+def render_report(results_path: Path, cached: int = 0) -> str:
+    """The campaign's aggregated plain-text report.
+
+    ``cached`` is the just-finished run's store-cache hit count (only the
+    ``run`` subcommand knows it); the standalone ``report`` subcommand
+    renders with the default ``0`` so re-aggregating a results file stays
+    byte-identical no matter how its cells were produced.
+    """
     records = load_records(results_path)
     if not records:
         return f"no campaign records in {results_path}"
@@ -287,10 +391,15 @@ def render_report(results_path: Path) -> str:
                   "(traced cells; negative = unsafe early ack)",
         ))
     if has_health_telemetry(records):
+        health_title = ("Run health — per-worker runtime "
+                        "(RSS ratchets per worker)")
+        if cached:
+            health_title += (f"; {cached} cells emitted from the store "
+                             "cache (telemetry from their original runs)")
         sections.append(format_table(
             RUN_HEALTH_HEADERS,
             run_health(records),
-            title="Run health — per-worker runtime (RSS ratchets per worker)",
+            title=health_title,
         ))
         sections.append(format_table(
             ["scenario", "technique", "seed", "status", "wall [s]"],

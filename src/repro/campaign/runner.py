@@ -190,6 +190,8 @@ class CampaignOutcome:
     failed: int
     results_path: Path
     records: List[Dict[str, object]] = field(default_factory=list)
+    #: Cells emitted verbatim from the run store's cache (never simulated).
+    cached: int = 0
 
 
 class CampaignRunner:
@@ -203,8 +205,14 @@ class CampaignRunner:
         chunk_size: Optional[int] = None,
         trace_dir: Optional[Path] = None,
         heartbeat_dir: Optional[Path] = None,
+        cache: Optional[object] = None,
     ) -> None:
         self.spec = spec
+        #: A :class:`repro.store.RunStore` (or its root path) consulted
+        #: before dispatch: a pending cell whose ``cell_id`` maps to a
+        #: digest-verified record in the store is emitted verbatim instead
+        #: of simulated.  ``None`` disables caching.
+        self.cache = cache
         self.results_path = Path(results_path)
         self.max_workers = max_workers or min(os.cpu_count() or 2, 8)
         #: Cells dispatched per worker task (``None``: derived from the
@@ -237,11 +245,26 @@ class CampaignRunner:
         per_worker = pending_count / max(1, self.max_workers * 4)
         return max(1, min(8, int(per_worker)))
 
+    def _cache_store(self):
+        """The :class:`~repro.store.RunStore` behind ``cache`` (if any)."""
+        if self.cache is None:
+            return None
+        if isinstance(self.cache, (str, Path)):
+            from repro.store import RunStore
+
+            return RunStore(Path(self.cache))
+        return self.cache
+
     def run(self, progress: Optional[Callable[[str], None]] = None) -> CampaignOutcome:
         """Run every pending cell; append one JSON line per finished cell.
 
         Lines are flushed as soon as each cell finishes, so a kill at any
         point loses at most in-flight cells — never completed ones.
+
+        With a ``cache`` store attached, pending cells whose spec encoding
+        already has a digest-verified record are emitted *verbatim* from
+        the store — original telemetry included — so a fully cached re-run
+        simulates nothing and aggregates to a byte-identical report.
 
         Progress goes through the module logger by default (INFO level), so
         parallel campaigns compose with the host application's logging
@@ -254,10 +277,24 @@ class CampaignRunner:
         skipped = len(cells) - len(pending)
         if skipped:
             say(f"resuming: {skipped}/{len(cells)} cells already done")
+        cache_hits: List[tuple] = []
+        store = self._cache_store()
+        if store is not None and pending:
+            uncached: List[CampaignCell] = []
+            for cell in pending:
+                hit = store.cached_record(cell.cell_id)
+                if hit is None:
+                    uncached.append(cell)
+                else:
+                    cache_hits.append((cell, hit))
+            if cache_hits:
+                say(f"cache: {len(cache_hits)}/{len(pending)} pending cells "
+                    f"have digest-verified records in {store.root}")
+            pending = uncached
         ran = failed = 0
         records: List[Dict[str, object]] = []
         started = heartbeat.wall_clock()
-        if pending:
+        if pending or cache_hits:
             self.results_path.parent.mkdir(parents=True, exist_ok=True)
             _terminate_partial_line(self.results_path)
             heartbeat.write_manifest(
@@ -266,7 +303,17 @@ class CampaignRunner:
                 pending=len(pending),
                 workers=self.max_workers,
                 results=str(self.results_path),
+                cached=len(cache_hits),
             )
+        if cache_hits:
+            with self.results_path.open("a", encoding="utf-8") as sink:
+                for cell, record in cache_hits:
+                    line, record = encode_record(record, cell)
+                    sink.write(line + "\n")
+                    records.append(record)
+                    say(f"[cache] {cell.describe()} "
+                        f"-> {record.get('status')} (emitted from store)")
+        if pending:
             chunk_size = self._chunk_size_for(len(pending))
             chunks = [pending[index:index + chunk_size]
                       for index in range(0, len(pending), chunk_size)]
@@ -322,4 +369,5 @@ class CampaignRunner:
             failed=failed,
             results_path=self.results_path,
             records=records,
+            cached=len(cache_hits),
         )

@@ -179,6 +179,9 @@ def render_status(
         header += f", {remaining} of {pending} pending remain"
         if isinstance(total, int):
             header += f" ({total} total in grid)"
+        cached = manifest.get("cached")
+        if isinstance(cached, int) and cached:
+            header += f", {cached} from cache"
         if remaining and throughput > 0:
             header += f", ETA {remaining / throughput:,.0f}s"
     if throughput > 0:

@@ -22,6 +22,10 @@ one refactor away from shipping):
 * RL008 — the PR 9 profiler rides the RL004 null-object contract: phase /
   sample emission must hide behind ``if pr.active:`` or every unprofiled
   run pays on the hot path the profiler exists to measure.
+* RL009 — the run-store closure of RL005: a key a serializer writes only
+  conditionally must appear in the module's ``DIGEST_EXCLUDED_KEYS``
+  declaration, or stored digests diverge between armed and disarmed runs
+  of the same outcome and ``repro.store verify`` flags healthy objects.
 """
 
 from __future__ import annotations
@@ -359,6 +363,9 @@ class AlwaysOnSerialization(LintRule):
                  "bakes the off-state into every digest (the rule PRs 4-7 "
                  "each re-implemented by hand).")
 
+    #: Function names treated as serializers (RL009 reuses the same scope).
+    _serializer_names = _SERIALIZER_NAMES
+
     def _flag_value(self, info: ModuleInfo,
                     value: ast.AST) -> Iterator[Diagnostic]:
         if not isinstance(value, ast.IfExp):
@@ -374,7 +381,7 @@ class AlwaysOnSerialization(LintRule):
 
     def check(self, info: ModuleInfo) -> Iterator[Diagnostic]:
         for func in info.walk(ast.FunctionDef):
-            if func.name not in _SERIALIZER_NAMES:
+            if func.name not in self._serializer_names:
                 continue
             for node in ast.walk(func):
                 if isinstance(node, ast.Dict):
@@ -385,6 +392,90 @@ class AlwaysOnSerialization(LintRule):
                     if any(isinstance(target, ast.Subscript)
                            for target in node.targets):
                         yield from self._flag_value(info, node.value)
+
+
+#: The module-level declaration RL009 keys on: a literal tuple/list of the
+#: serializer keys that are excluded from outcome digests.
+_DIGEST_DECLARATION = "DIGEST_EXCLUDED_KEYS"
+
+
+@register_rule
+class UndeclaredConditionalKey(AlwaysOnSerialization):
+    """RL009: conditionally-serialized keys must be digest-excluded.
+
+    Scoped to modules that declare a module-level ``DIGEST_EXCLUDED_KEYS``
+    literal (today: :mod:`repro.session.record`).  Within those modules,
+    any serializer that writes ``payload["key"] = ...`` under an ``if``
+    must list ``"key"`` in the declaration — RL005 forces the key-omitted
+    idiom, and this rule closes the loop by forcing the omitted key into
+    the digest-exclusion set the run store's ``verify`` recomputes against.
+    """
+
+    code = "RL009"
+    name = "undeclared-conditional-key"
+    invariant = ("every key a serializer assigns conditionally appears in "
+                 "the module's DIGEST_EXCLUDED_KEYS declaration")
+    rationale = ("the run store re-derives digests from stored payloads via "
+                 "outcome_digest(), which strips DIGEST_EXCLUDED_KEYS; a "
+                 "conditionally-serialized field missing from the tuple "
+                 "makes armed and disarmed runs of identical outcomes hash "
+                 "differently, so `verify` flags healthy objects and the "
+                 "campaign cache refuses valid hits.")
+
+    def _declared_keys(self, info: ModuleInfo) -> Optional[Set[str]]:
+        """The module's literal declaration, or ``None`` when out of scope."""
+        for node in info.tree.body:
+            if not isinstance(node, ast.Assign):
+                continue
+            if not any(isinstance(target, ast.Name)
+                       and target.id == _DIGEST_DECLARATION
+                       for target in node.targets):
+                continue
+            if not isinstance(node.value, (ast.Tuple, ast.List)):
+                return None
+            keys: Set[str] = set()
+            for element in node.value.elts:
+                if not (isinstance(element, ast.Constant)
+                        and isinstance(element.value, str)):
+                    return None  # non-literal declaration: out of scope
+                keys.add(element.value)
+            return keys
+        return None
+
+    def check(self, info: ModuleInfo) -> Iterator[Diagnostic]:
+        declared = self._declared_keys(info)
+        if declared is None:
+            return
+        for func in info.walk(ast.FunctionDef):
+            if func.name not in self._serializer_names:
+                continue
+            # Nested ifs walk inner statements twice; dedupe by position.
+            seen: Set[Tuple[int, int]] = set()
+            for branch in ast.walk(func):
+                if not isinstance(branch, ast.If):
+                    continue
+                for node in ast.walk(branch):
+                    if not isinstance(node, ast.Assign):
+                        continue
+                    position = (node.lineno, node.col_offset)
+                    if position in seen:
+                        continue
+                    seen.add(position)
+                    for target in node.targets:
+                        if not (isinstance(target, ast.Subscript)
+                                and isinstance(target.slice, ast.Constant)
+                                and isinstance(target.slice.value, str)):
+                            continue
+                        key = target.slice.value
+                        if key in declared:
+                            continue
+                        yield self.diagnostic(
+                            info, node,
+                            f'conditionally-serialized key "{key}" is '
+                            f"missing from {_DIGEST_DECLARATION}; add it so "
+                            "outcome_digest() strips it and stored digests "
+                            "stay stable whether the subsystem is armed",
+                        )
 
 
 #: Hot-path modules (relative to the repro package root) where per-instance

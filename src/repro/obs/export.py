@@ -32,6 +32,7 @@ from repro.obs.events import (
     PHASE_RESYNC_STARTED,
     PHASE_RULE_REINSTALLED,
     PHASE_UPDATE_ISSUED,
+    TraceEvent,
     TraceLog,
 )
 
@@ -59,6 +60,26 @@ def trace_to_jsonl(log: TraceLog) -> str:
 def write_jsonl(log: TraceLog, path) -> None:
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(trace_to_jsonl(log))
+
+
+def trace_from_jsonl(text: str) -> TraceLog:
+    """Rebuild a :class:`TraceLog` from :func:`trace_to_jsonl` output."""
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        return TraceLog()
+    header = json.loads(lines[0])
+    return TraceLog(
+        technique=header.get("technique", ""),
+        kind=header.get("kind", ""),
+        seed=header.get("seed"),
+        meta=dict(header.get("meta") or {}),
+        events=[TraceEvent.from_dict(json.loads(line)) for line in lines[1:]],
+    )
+
+
+def read_jsonl(path) -> TraceLog:
+    with open(path, "r", encoding="utf-8") as handle:
+        return trace_from_jsonl(handle.read())
 
 
 def _track_name(event) -> str:
@@ -165,6 +186,55 @@ def trace_to_chrome(log: TraceLog) -> Dict[str, Any]:
 def write_chrome_trace(log: TraceLog, path) -> None:
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(trace_to_chrome(log), handle, sort_keys=True)
+
+
+def trace_from_chrome(payload: Dict[str, Any]) -> TraceLog:
+    """Rebuild a :class:`TraceLog` from :func:`trace_to_chrome` output.
+
+    The inverse of the instant-event mapping: metadata and the derived
+    ``X`` spans are skipped (they are recomputed from the instants), track
+    names are folded back into each event's switch, and microseconds return
+    to sim seconds.  This is how the run store reads a campaign's per-cell
+    Chrome shards back into diffable :class:`TraceLog` form without the
+    runner having to persist a second trace encoding.
+    """
+    other = payload.get("otherData") or {}
+    log = TraceLog(
+        technique=str(other.get("technique", "")),
+        kind=str(other.get("kind", "")),
+        seed=other.get("seed"),
+    )
+    tracks: Dict[int, str] = {}
+    for event in payload.get("traceEvents", []):
+        if event.get("ph") == "M" and event.get("name") == "thread_name":
+            tracks[int(event["tid"])] = str(
+                (event.get("args") or {}).get("name", ""))
+            continue
+        if event.get("ph") != "i":
+            continue
+        track = tracks.get(int(event.get("tid", 0)), "")
+        if "@" in track:
+            # "faults@S2" / "recovery@S2" overlay tracks carry the switch
+            # after the at-sign; plain tracks *are* the switch.
+            switch = track.split("@", 1)[1]
+        elif track == "controller":
+            switch = ""
+        else:
+            switch = track
+        args = event.get("args") or {}
+        log.events.append(TraceEvent(
+            ts=float(event["ts"]) / _US,
+            phase=str(event["name"]),
+            switch=switch,
+            xid=args.get("xid"),
+            detail=str(args.get("detail", "")),
+        ))
+    return log
+
+
+def read_chrome_trace(path) -> TraceLog:
+    with open(path, "r", encoding="utf-8") as handle:
+        return trace_from_chrome(json.load(handle))
 
 
 _PHASE_REQUIRED_KEYS = {"name", "ph", "ts", "pid", "tid"}

@@ -26,6 +26,17 @@ from repro.obs.profiler import ProfileReport
 #: Schema version stamped into serialized records.
 RECORD_SCHEMA = 1
 
+#: Payload keys excluded from :func:`outcome_digest` (and therefore from
+#: :meth:`RunRecord.digest`).  ``spec`` is provenance; the rest are the
+#: armed-only keys — serialized only when their subsystem ran, and
+#: *observations* of the run rather than its outcome — so an armed run stays
+#: digest-comparable with its disarmed twin and with records produced before
+#: the subsystem existed.  The run store's ``verify`` recomputes digests
+#: through this same constant; lint rule RL009 insists every conditionally
+#: serialized field lands here, so the next armed-only field cannot silently
+#: skew digests.
+DIGEST_EXCLUDED_KEYS = ("spec", "fault_events", "recovery", "trace", "profile")
+
 #: The flat keys every :meth:`RunRecord.summary` contains — what campaign
 #: result files store per cell and what the report tables read.
 SUMMARY_KEYS = (
@@ -283,25 +294,34 @@ class RunRecord:
         """Stable content hash of the simulation-determined outcome.
 
         Covers what the simulation computed (timings, per-flow stats,
-        per-rule activation delays, metrics) but neither provenance fields
-        like :attr:`spec` nor OpenFlow xids (which come from a process-global
-        counter), so the same seeded workload produces the same digest no
-        matter which entry point built the session or what ran before it in
-        the process.
+        per-rule activation delays, metrics) but not the
+        :data:`DIGEST_EXCLUDED_KEYS` — provenance (:attr:`spec`) and the
+        armed-only observation payloads — nor OpenFlow xids (which come from
+        a process-global counter), so the same seeded workload produces the
+        same digest no matter which entry point built the session or what
+        ran before it in the process.
         """
-        payload = self.as_dict()
-        payload.pop("spec", None)
-        # The trace and the profile are observations of the run, not part of
-        # its outcome: excluding them makes traced/profiled runs
-        # digest-comparable with their bare twins.
-        payload.pop("trace", None)
-        payload.pop("profile", None)
-        activation = payload.get("activation")
-        if activation is not None:
-            payload["activation"] = {
-                "technique": activation["technique"],
-                "delays": sorted(activation["per_rule"].values()),
-            }
-        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"),
-                               default=str)
-        return hashlib.sha1(canonical.encode("utf-8")).hexdigest()[:16]
+        return outcome_digest(self.as_dict())
+
+
+def outcome_digest(payload: Dict[str, object]) -> str:
+    """The digest of an :meth:`RunRecord.as_dict` payload.
+
+    Module-level so the run store's ``verify`` can recheck stored payloads
+    without round-tripping them through :class:`RunRecord`; this is the one
+    place the :data:`DIGEST_EXCLUDED_KEYS` are stripped before hashing.
+    """
+    payload = dict(payload)
+    for key in DIGEST_EXCLUDED_KEYS:
+        payload.pop(key, None)
+    activation = payload.get("activation")
+    if activation is not None:
+        # Per-rule delays are keyed by process-global xids; hash the sorted
+        # delay multiset so the digest is xid-independent.
+        payload["activation"] = {
+            "technique": activation["technique"],
+            "delays": sorted(activation["per_rule"].values()),
+        }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                           default=str)
+    return hashlib.sha1(canonical.encode("utf-8")).hexdigest()[:16]

@@ -1,0 +1,14 @@
+"""RL009 fixture: justified suppression on the undeclared key."""
+
+DIGEST_EXCLUDED_KEYS = ("spec",)
+
+
+class Record:
+    def __init__(self, trace):
+        self.trace = trace
+
+    def as_dict(self):
+        payload = {"kind": "session"}
+        if self.trace:
+            payload["trace"] = self.trace.as_dict()  # repro: noqa(RL009): trace predates the digest-exclusion declaration; it is stripped by a bespoke migration shim instead
+        return payload

@@ -1,0 +1,17 @@
+"""RL009 fixture: conditional key missing from DIGEST_EXCLUDED_KEYS."""
+
+DIGEST_EXCLUDED_KEYS = ("spec", "trace")
+
+
+class Record:
+    def __init__(self, trace, profile):
+        self.trace = trace
+        self.profile = profile
+
+    def as_dict(self):
+        payload = {"kind": "session"}
+        if self.trace:
+            payload["trace"] = self.trace.as_dict()
+        if self.profile:
+            payload["profile"] = self.profile.as_dict()
+        return payload

@@ -399,3 +399,241 @@ class TestStatus:
         with pytest.raises(SystemExit):
             main([])
         capsys.readouterr()
+
+
+class TestStatusThresholds:
+    """The --dead-after / --straggler-factor knobs (once hard-coded)."""
+
+    @staticmethod
+    def _write_shard(directory, pid, lines):
+        TestStatus._write_shard(directory, pid, lines)
+
+    def _midcell_fleet(self, tmp_path, now):
+        done = {"event": "cell-done", "cell_id": "a", "status": "ok",
+                "wall_s": 2.0, "cells_done": 1, "cells_per_s": 0.5,
+                "outcomes": {"ok": 1}, "peak_rss_kb": 1024}
+        # One worker, mid-cell for 30s, last beat 30s ago, 2s median wall.
+        self._write_shard(tmp_path, 1, [
+            {"event": "worker-start", "ts": now - 60},
+            dict(done, ts=now - 50),
+            {"event": "cell-start", "cell_id": "b", "ts": now - 30},
+        ])
+
+    def test_stale_after_promotes_running_to_dead(self, tmp_path):
+        from repro.campaign.heartbeat import load_shards
+        from repro.campaign.status import worker_statuses
+
+        now = 1000.0
+        self._midcell_fleet(tmp_path, now)
+        shards = load_shards(tmp_path)
+        # Default 120s window: 30s of silence is fine; the long cell is
+        # already past the default 4x median, so the worker is a straggler.
+        default = worker_statuses(shards, now=now)
+        assert default[0].state == "straggler"
+        # Tightened to 10s: the same worker is presumed dead.
+        tight = worker_statuses(shards, now=now, stale_after=10.0)
+        assert tight[0].state == "dead?"
+
+    def test_straggler_factor_widens_the_window(self, tmp_path):
+        from repro.campaign.heartbeat import load_shards
+        from repro.campaign.status import worker_statuses
+
+        now = 1000.0
+        self._midcell_fleet(tmp_path, now)
+        shards = load_shards(tmp_path)
+        # 30s open vs 2s median: 4x flags it, 20x does not.
+        loose = worker_statuses(shards, now=now, straggler_factor=20.0)
+        assert loose[0].state == "running"
+        strict = worker_statuses(shards, now=now, straggler_factor=4.0)
+        assert strict[0].state == "straggler"
+
+    def test_cli_passes_thresholds_through(self, tmp_path, capsys):
+        from repro.campaign.__main__ import main
+
+        now = 1000.0
+        self._midcell_fleet(tmp_path, now)
+        # A huge straggler factor and a tiny dead window: the CLI must
+        # thread both through to worker_statuses. With real wall-clock
+        # "now" the 30s-old beat is far staler than 1e-6s, so dead?.
+        assert main(["--status", str(tmp_path),
+                     "--dead-after", "1e-6",
+                     "--straggler-factor", "1e9"]) == 0
+        assert "dead?" in capsys.readouterr().out
+
+
+class TestCampaignCache:
+    def _spec(self):
+        return _tiny_spec(techniques=["timeout", "general"], seeds=[1, 2])
+
+    def _populated_store(self, tmp_path):
+        from repro.store import RunStore
+
+        results = tmp_path / "first.jsonl"
+        CampaignRunner(self._spec(), results, max_workers=2).run()
+        store = RunStore(tmp_path / "store")
+        store.ingest(results)
+        return results, store
+
+    def test_cached_rerun_simulates_nothing(self, tmp_path):
+        results, store = self._populated_store(tmp_path)
+        rerun = tmp_path / "second.jsonl"
+        outcome = CampaignRunner(self._spec(), rerun, max_workers=2,
+                                 cache=store).run()
+        assert outcome.ran == 0
+        assert outcome.cached == 4
+        assert outcome.failed == 0
+
+    def test_cached_results_are_byte_identical_lines(self, tmp_path):
+        results, store = self._populated_store(tmp_path)
+        rerun = tmp_path / "second.jsonl"
+        CampaignRunner(self._spec(), rerun, max_workers=2,
+                       cache=store).run()
+        # Line-set equality: the cache emits the original records verbatim
+        # (order may differ from the pool's completion order).
+        original = set(results.read_text().splitlines())
+        cached = set(rerun.read_text().splitlines())
+        assert cached == original
+
+    def test_cached_report_is_byte_identical(self, tmp_path):
+        results, store = self._populated_store(tmp_path)
+        # Re-run into a file of the same *name* in another directory so the
+        # report titles (which embed the path) match byte for byte after
+        # normalizing the directory part.
+        other = tmp_path / "rerun"
+        other.mkdir()
+        rerun = other / "first.jsonl"
+        CampaignRunner(self._spec(), rerun, max_workers=2,
+                       cache=store).run()
+        left = render_report(results).replace(str(results), "RESULTS")
+        right = render_report(rerun).replace(str(rerun), "RESULTS")
+        assert left == right
+
+    def test_cache_accepts_a_path(self, tmp_path):
+        results, store = self._populated_store(tmp_path)
+        rerun = tmp_path / "second.jsonl"
+        outcome = CampaignRunner(self._spec(), rerun, max_workers=2,
+                                 cache=store.root).run()
+        assert outcome.cached == 4
+
+    def test_partial_hits_simulate_the_rest(self, tmp_path):
+        results, store = self._populated_store(tmp_path)
+        spec = _tiny_spec(techniques=["timeout", "general", "barrier"],
+                          seeds=[1, 2])
+        rerun = tmp_path / "second.jsonl"
+        outcome = CampaignRunner(spec, rerun, max_workers=2,
+                                 cache=store).run()
+        assert outcome.cached == 4
+        assert outcome.ran == 2  # the barrier cells were never stored
+        assert len(completed_cell_ids(rerun)) == 6
+
+    def test_manifest_and_status_count_cached_cells(self, tmp_path):
+        from repro.campaign.heartbeat import load_manifest
+        from repro.campaign.status import render_status
+
+        results, store = self._populated_store(tmp_path)
+        other = tmp_path / "rerun"
+        other.mkdir()
+        rerun = other / "results.jsonl"
+        spec = _tiny_spec(techniques=["timeout", "general", "barrier"],
+                          seeds=[1, 2])
+        CampaignRunner(spec, rerun, max_workers=2, cache=store).run()
+        manifest = load_manifest(other / "heartbeats")
+        assert manifest["cached"] == 4
+        assert manifest["pending"] == 2  # only the simulated cells
+        assert "4 from cache" in render_status(rerun)
+
+    def test_run_health_section_names_the_cache(self, tmp_path):
+        results, store = self._populated_store(tmp_path)
+        rerun = tmp_path / "second.jsonl"
+        CampaignRunner(self._spec(), rerun, max_workers=2,
+                       cache=store).run()
+        assert "emitted from the store cache" in render_report(rerun,
+                                                               cached=4)
+        assert "store cache" not in render_report(rerun)
+
+    def test_cache_skips_corrupted_records(self, tmp_path):
+        import json as json_mod
+
+        results, store = self._populated_store(tmp_path)
+        # Corrupt every stored summary: all four cells must re-simulate.
+        for digest in store.digests():
+            obj = store.load(digest)
+            obj["summary"]["status"] = "tampered"
+            store.object_path(digest).write_text(json_mod.dumps(obj),
+                                                 encoding="utf-8")
+        rerun = tmp_path / "second.jsonl"
+        outcome = CampaignRunner(self._spec(), rerun, max_workers=2,
+                                 cache=store).run()
+        assert outcome.cached == 0
+        assert outcome.ran == 4
+
+
+class TestDifferentialReport:
+    def _results(self, tmp_path, name="results.jsonl", **overrides):
+        results = tmp_path / name
+        CampaignRunner(_tiny_spec(**overrides), results, max_workers=2).run()
+        return results
+
+    def test_identical_results_have_no_rows(self, tmp_path):
+        from repro.campaign.report import render_differential_report
+
+        left = self._results(tmp_path, "left.jsonl")
+        right = self._results(tmp_path, "right.jsonl")
+        text = render_differential_report(left, right)
+        assert "4 unchanged, 0 changed, 0 new, 0 only in baseline" in text
+        assert "identical outcome" in text  # the no-rows epilogue
+
+    def test_store_baseline_matches_results_baseline(self, tmp_path):
+        from repro.campaign.report import baseline_records
+        from repro.store import RunStore
+
+        results = self._results(tmp_path)
+        store = RunStore(tmp_path / "store")
+        store.ingest(results)
+        assert baseline_records(store.root) == baseline_records(results)
+
+    def test_changed_cell_names_what_moved(self, tmp_path):
+        from repro.campaign.report import differential, baseline_records
+
+        results = self._results(tmp_path)
+        baseline = baseline_records(results)
+        records = load_records(results)
+        drifted = dict(records[0])
+        drifted["digest"] = "0" * 16
+        drifted["dropped_packets"] = 99
+        records[0] = drifted
+        rows, counts = differential(records, baseline)
+        assert counts["changed"] == 1
+        assert counts["unchanged"] == len(records) - 1
+        row = rows[0]
+        assert "->" in row[5]  # digest column shows the move
+        assert "dropped_packets: " in row[6]
+
+    def test_new_and_missing_cells_are_counted(self, tmp_path):
+        from repro.campaign.report import differential, baseline_records
+
+        results = self._results(tmp_path)
+        baseline = baseline_records(results)
+        records = load_records(results)
+        extra = dict(records[0])
+        extra["cell_id"] = "feedfacefeedface"
+        records.append(extra)
+        removed = records.pop(0)
+        rows, counts = differential(records, baseline)
+        assert counts["new"] == 1
+        assert counts["missing"] == 1
+        assert any("new cell" in str(row[6]) for row in rows)
+        del removed
+
+    def test_cli_report_baseline(self, tmp_path, capsys):
+        from repro.campaign.__main__ import main
+
+        results = self._results(tmp_path)
+        store_dir = tmp_path / "store"
+        from repro.store import RunStore
+
+        RunStore(store_dir).ingest(results)
+        assert main(["report", "--out", str(results),
+                     "--baseline", str(store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "Differential resilience" in out

@@ -165,6 +165,29 @@ class TestRunRecordRoundTrip:
         relabeled.spec = {"entirely": "different"}
         assert relabeled.digest() == scenario_record.digest()
 
+    def test_digest_excluded_keys_are_pinned(self):
+        # The run store's verify and lint rule RL009 both key on this
+        # exact tuple; extending it is a digest-compatibility decision,
+        # not a refactor — update the pin deliberately.
+        from repro.session.record import DIGEST_EXCLUDED_KEYS
+
+        assert DIGEST_EXCLUDED_KEYS == (
+            "spec", "fault_events", "recovery", "trace", "profile")
+
+    def test_digest_matches_outcome_digest_and_ignores_excluded_keys(
+            self, scenario_record):
+        from repro.session.record import DIGEST_EXCLUDED_KEYS, outcome_digest
+
+        payload = scenario_record.as_dict()
+        assert scenario_record.digest() == outcome_digest(payload)
+        # Injecting any excluded key leaves the digest untouched...
+        for key in DIGEST_EXCLUDED_KEYS:
+            assert outcome_digest(dict(payload, **{key: {"x": 1}})) == \
+                scenario_record.digest()
+        # ...while touching an included outcome field moves it.
+        assert outcome_digest(dict(payload, dropped_packets=12345)) != \
+            scenario_record.digest()
+
     def test_render_run_summaries_reads_unified_keys(self, scenario_record):
         from repro.analysis.report import render_run_summaries
 

@@ -1,0 +1,295 @@
+"""Tests for the content-addressed run store (``repro.store``).
+
+Covers the object layout (digest-keyed, content-pinned parts), ingest of
+campaign results files and standalone record payloads, the spec-encoding
+index behind the campaign ``--cache``, ``verify``'s corruption detection,
+``gc``, prefix resolution, and the ``python -m repro.store`` CLI.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign import CampaignRunner, CampaignSpec, load_records
+from repro.scenarios import ScenarioParams, run_scenario
+from repro.store import RunStore, StoreError, content_sha1, spec_key
+from repro.store.__main__ import main as store_main
+
+
+def _campaign(tmp_path, **overrides):
+    """Run a tiny campaign; returns its results path."""
+    results = tmp_path / "results.jsonl"
+    defaults = dict(
+        scenarios=["path-migration"],
+        techniques=["timeout", "general"],
+        scales=[1],
+        seeds=[1],
+        flow_count=2,
+        max_update_duration=5.0,
+    )
+    defaults.update(overrides)
+    CampaignRunner(CampaignSpec(**defaults), results, max_workers=2).run()
+    return results
+
+
+def _record_payload(technique="general", seed=7, trace=True):
+    """A full traced RunRecord payload from a real scenario run."""
+    params = ScenarioParams(seed=seed, flow_count=2, trace=trace)
+    return run_scenario("path-migration", technique, params).as_dict()
+
+
+class TestIngestAndQuery:
+    def test_results_file_becomes_summary_objects(self, tmp_path):
+        results = _campaign(tmp_path)
+        store = RunStore(tmp_path / "store")
+        stats = store.ingest(results)
+        assert stats.summaries == 2
+        assert stats.records == 0
+        assert len(store.digests()) == 2
+        # Both the config and the session encodings are indexed.
+        assert stats.indexed == 4
+
+    def test_summaries_are_stored_verbatim(self, tmp_path):
+        results = _campaign(tmp_path)
+        store = RunStore(tmp_path / "store")
+        store.ingest(results)
+        originals = {record["digest"]: record
+                     for record in load_records(results)}
+        for digest, original in originals.items():
+            obj = store.load(digest)
+            assert obj["summary"] == original
+            # Verbatim means key order too: the cache re-emits these lines.
+            assert (json.dumps(obj["summary"]) == json.dumps(original))
+
+    def test_full_record_payload_roundtrip(self, tmp_path):
+        from repro.session.record import outcome_digest
+
+        payload = _record_payload()
+        store = RunStore(tmp_path / "store")
+        digest = store.put_record(payload)
+        assert digest == outcome_digest(payload)
+        obj = store.load(digest)
+        assert obj["record"] == payload
+        assert store.lookup(payload["spec"]) == digest
+
+    def test_ingest_directory_skips_heartbeats_and_traces(self, tmp_path):
+        results = _campaign(tmp_path)
+        (tmp_path / "heartbeats").mkdir(exist_ok=True)
+        (tmp_path / "heartbeats" / "worker-1.heartbeat.jsonl").write_text(
+            '{"event": "worker-start"}\n')
+        (tmp_path / "heartbeats" / "campaign.json").write_text("{}")
+        (tmp_path / "shard.json").write_text(
+            json.dumps({"traceEvents": [], "otherData": {}}))
+        store = RunStore(tmp_path / "store")
+        stats = store.ingest(tmp_path)
+        assert stats.summaries == 2
+        # The chrome shard and the not-a-record json were skipped.
+        assert stats.skipped >= 1
+        assert store.verify() == []
+        del results
+
+    def test_query_filters(self, tmp_path):
+        results = _campaign(tmp_path)
+        store = RunStore(tmp_path / "store")
+        store.ingest(results)
+        assert len(store.query()) == 2
+        timeout_rows = store.query(technique="timeout")
+        assert [row["technique"] for row in timeout_rows] == ["timeout"]
+        assert store.query(scenario="nope") == []
+        assert len(store.query(outcome="ok")) == 2
+
+    def test_resolve_prefix(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        digest = store.put_record(_record_payload(technique="timeout"))
+        other = store.put_record(_record_payload(technique="general"))
+        assert digest != other
+        assert store.resolve(digest[:6]) == digest
+        with pytest.raises(StoreError, match="no stored run"):
+            store.resolve("ffff")
+        with pytest.raises(StoreError, match="ambiguous"):
+            store.resolve("")
+
+
+class TestCachedRecord:
+    def test_hit_is_the_verbatim_summary(self, tmp_path):
+        results = _campaign(tmp_path)
+        store = RunStore(tmp_path / "store")
+        store.ingest(results)
+        for record in load_records(results):
+            hit = store.cached_record(record["cell_id"])
+            assert hit == record
+
+    def test_unknown_cell_misses(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        assert store.cached_record("deadbeefdeadbeef") is None
+
+    def test_corrupted_summary_refuses_to_hit(self, tmp_path):
+        results = _campaign(tmp_path)
+        store = RunStore(tmp_path / "store")
+        store.ingest(results)
+        record = next(iter(load_records(results)))
+        obj = store.load(record["digest"])
+        obj["summary"]["dropped_packets"] = 10_000  # bit rot
+        store.object_path(record["digest"]).write_text(
+            json.dumps(obj), encoding="utf-8")
+        assert store.cached_record(record["cell_id"]) is None
+
+    def test_digest_mismatch_refuses_to_hit(self, tmp_path):
+        results = _campaign(tmp_path)
+        store = RunStore(tmp_path / "store")
+        store.ingest(results)
+        record = next(iter(load_records(results)))
+        obj = store.load(record["digest"])
+        obj["summary"]["digest"] = "0" * 16
+        obj["sha1"]["summary"] = content_sha1(obj["summary"])  # re-pinned!
+        store.object_path(record["digest"]).write_text(
+            json.dumps(obj), encoding="utf-8")
+        # The content pin matches, but the summary no longer claims the
+        # object's digest: still a miss.
+        assert store.cached_record(record["cell_id"]) is None
+
+
+class TestVerifyAndGc:
+    def test_clean_store_verifies(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        store.put_record(_record_payload())
+        assert store.verify() == []
+
+    def test_verify_catches_tampered_record(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        digest = store.put_record(_record_payload())
+        obj = store.load(digest)
+        obj["record"]["update_duration"] = 999.0
+        store.object_path(digest).write_text(json.dumps(obj),
+                                             encoding="utf-8")
+        problems = store.verify()
+        assert any("content hash" in problem for problem in problems)
+
+    def test_verify_catches_repinned_record(self, tmp_path):
+        # An attacker (or a buggy migration) can re-pin tampered content;
+        # the recomputed outcome digest still catches it.
+        store = RunStore(tmp_path / "store")
+        digest = store.put_record(_record_payload())
+        obj = store.load(digest)
+        obj["record"]["update_duration"] = 999.0
+        obj["sha1"]["record"] = content_sha1(obj["record"])
+        store.object_path(digest).write_text(json.dumps(obj),
+                                             encoding="utf-8")
+        problems = store.verify()
+        assert any("recomputes to digest" in problem for problem in problems)
+
+    def test_verify_catches_missing_artifact(self, tmp_path):
+        results = _campaign(tmp_path, trace=True)
+        store = RunStore(tmp_path / "store")
+        store.ingest(results)
+        record = next(record for record in load_records(results)
+                      if record.get("trace_path"))
+        obj = store.load(record["digest"])
+        name = sorted(obj["artifacts"])[0]
+        store.artifact_path(record["digest"], name).unlink()
+        problems = store.verify()
+        assert any("missing" in problem for problem in problems)
+
+    def test_verify_and_gc_handle_dangling_index(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        digest = store.put_record(_record_payload())
+        store.index_encoding({"ghost": True}, "f" * 16)
+        assert any("points at no object" in p for p in store.verify())
+        stats = store.gc()
+        assert stats.dangling_index == 1
+        assert store.verify() == []
+        assert store.lookup_key(spec_key({"ghost": True})) is None
+        assert digest in store.digests()  # live objects untouched
+
+
+class TestStoreCli:
+    def test_ingest_query_show_verify_gc(self, tmp_path, capsys):
+        results = _campaign(tmp_path)
+        store_dir = str(tmp_path / "store")
+        assert store_main(["--store", store_dir,
+                           "ingest", str(results)]) == 0
+        assert store_main(["--store", store_dir, "query",
+                           "--technique", "timeout"]) == 0
+        out = capsys.readouterr().out
+        assert "timeout" in out and "general" not in out
+
+        digest = RunStore(tmp_path / "store").digests()[0]
+        assert store_main(["--store", store_dir, "show", digest[:8]]) == 0
+        shown = json.loads(capsys.readouterr().out)
+        assert shown["digest"] == digest
+
+        assert store_main(["--store", store_dir, "verify"]) == 0
+        assert store_main(["--store", store_dir, "gc"]) == 0
+
+    def test_query_json_format(self, tmp_path, capsys):
+        results = _campaign(tmp_path)
+        store_dir = str(tmp_path / "store")
+        store_main(["--store", store_dir, "ingest", str(results)])
+        capsys.readouterr()
+        assert store_main(["--store", store_dir, "query",
+                           "--format", "json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 2
+        assert {row["technique"] for row in rows} == {"timeout", "general"}
+
+    def test_verify_reports_problems_nonzero(self, tmp_path, capsys):
+        store = RunStore(tmp_path / "store")
+        store.index_encoding({"ghost": True}, "f" * 16)
+        assert store_main(["--store", str(tmp_path / "store"),
+                           "verify"]) == 1
+        assert "points at no object" in capsys.readouterr().out
+
+    def test_unknown_digest_exits_2(self, tmp_path, capsys):
+        RunStore(tmp_path / "store")  # materialize nothing
+        code = store_main(["--store", str(tmp_path / "store"),
+                           "show", "ffff"])
+        assert code == 2
+        assert "no stored run" in capsys.readouterr().err
+
+    def test_diff_two_stored_runs_names_first_divergence(
+            self, tmp_path, capsys):
+        store = RunStore(tmp_path / "store")
+        left = store.put_record(_record_payload(technique="timeout"))
+        right = store.put_record(_record_payload(technique="general"))
+        code = store_main(["--store", str(tmp_path / "store"),
+                           "diff", left[:8], right[:8]])
+        assert code == 1  # differences found
+        out = capsys.readouterr().out
+        assert "first divergence at t=" in out
+        assert "phase" in out
+
+    def test_diff_json_schema(self, tmp_path, capsys):
+        store = RunStore(tmp_path / "store")
+        left = store.put_record(_record_payload(technique="timeout"))
+        right = store.put_record(_record_payload(technique="general"))
+        store_main(["--store", str(tmp_path / "store"),
+                    "diff", left, right, "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["left"] == left
+        assert payload["traced"] is True
+        assert payload["divergence"]["switch"]
+        assert payload["divergence"]["phase"]
+        assert isinstance(payload["divergence"]["ts"], float)
+
+    def test_diff_identical_runs_exits_zero(self, tmp_path, capsys):
+        store = RunStore(tmp_path / "store")
+        digest = store.put_record(_record_payload())
+        code = store_main(["--store", str(tmp_path / "store"),
+                           "diff", digest, digest])
+        assert code == 0
+        assert "identical outcome" in capsys.readouterr().out
+
+    def test_diff_of_ingested_summaries_uses_attached_trace_shards(
+            self, tmp_path, capsys):
+        # Campaign summaries carry no inline trace; the diff falls back to
+        # each run's attached Chrome shard and still aligns lifecycles.
+        results = _campaign(tmp_path, trace=True)
+        store = RunStore(tmp_path / "store")
+        store.ingest(results)
+        left, right = store.digests()
+        code = store_main(["--store", str(tmp_path / "store"),
+                           "diff", left, right, "--format", "json"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["traced"] is True
+        assert payload["divergence"] is not None
